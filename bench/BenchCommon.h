@@ -1,0 +1,117 @@
+//===- bench/BenchCommon.h - Shared benchmark helpers -----------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-experiment benchmark binaries (one binary per
+/// paper table/figure; see DESIGN.md section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_BENCH_BENCHCOMMON_H
+#define GIS_BENCH_BENCHCOMMON_H
+
+#include "frontend/CodeGen.h"
+#include "interp/Interpreter.h"
+#include "machine/Timing.h"
+#include "sched/Pipeline.h"
+#include "support/Assert.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+
+namespace gis {
+namespace bench {
+
+/// Compiles a workload and optionally schedules it.
+inline std::unique_ptr<Module>
+buildWorkload(const Workload &W, const MachineDescription &MD,
+              const std::optional<PipelineOptions> &Sched) {
+  auto M = compileMiniCOrDie(W.Source);
+  if (Sched)
+    scheduleModule(*M, MD, *Sched);
+  return M;
+}
+
+/// Runs a compiled workload and returns the simulated cycle count.
+inline uint64_t runWorkloadCycles(const Workload &W, const Module &M,
+                                  const MachineDescription &MD) {
+  Interpreter I(M);
+  I.enableTrace(true);
+  if (W.Setup)
+    W.Setup(I, M);
+  Function *Entry = const_cast<Module &>(M).findFunction(W.EntryFunction);
+  GIS_ASSERT(Entry, "workload entry function missing");
+  GIS_ASSERT(Entry->params().size() == W.Args.size(),
+             "workload argument count mismatch");
+  for (size_t K = 0; K != W.Args.size(); ++K)
+    I.setReg(Entry->params()[K], W.Args[K]);
+  ExecResult R = I.run(*Entry, W.MaxSteps);
+  GIS_ASSERT(!R.Trapped, "workload trapped");
+  TimingSimulator Sim(MD);
+  return Sim.simulate(I.trace()).Cycles;
+}
+
+/// Convenience: compile [+ schedule] + run, returning cycles.
+inline uint64_t workloadCycles(const Workload &W, const MachineDescription &MD,
+                               const std::optional<PipelineOptions> &Sched) {
+  auto M = buildWorkload(W, MD, Sched);
+  return runWorkloadCycles(W, *M, MD);
+}
+
+/// Baseline pipeline configuration: the paper's BASE compiler has global
+/// scheduling disabled (basic-block scheduling stays on).
+inline PipelineOptions baseOptions() {
+  PipelineOptions Opts;
+  Opts.Level = SchedLevel::None;
+  Opts.EnableUnroll = false;
+  Opts.EnableRotate = false;
+  return Opts;
+}
+
+/// Useful-only global scheduling (the paper's first RTI column).
+inline PipelineOptions usefulOptions() {
+  PipelineOptions Opts;
+  Opts.Level = SchedLevel::Useful;
+  return Opts;
+}
+
+/// Useful + 1-branch speculative (the paper's second RTI column).
+inline PipelineOptions speculativeOptions() {
+  PipelineOptions Opts;
+  Opts.Level = SchedLevel::Speculative;
+  return Opts;
+}
+
+/// Wall-clock seconds of one call to \p Fn, repeated until at least ~20ms
+/// have elapsed, divided by the repetition count.
+template <typename CallableT> double secondsPerCall(CallableT Fn) {
+  using Clock = std::chrono::steady_clock;
+  unsigned Reps = 1;
+  while (true) {
+    auto Start = Clock::now();
+    for (unsigned K = 0; K != Reps; ++K)
+      Fn();
+    double Elapsed =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    if (Elapsed > 0.02 || Reps >= 1u << 20)
+      return Elapsed / Reps;
+    Reps *= 4;
+  }
+}
+
+/// Prints a horizontal rule sized for our tables.
+inline void rule(unsigned Width = 72) {
+  std::fputs((std::string(Width, '-') + "\n").c_str(), stdout);
+}
+
+} // namespace bench
+} // namespace gis
+
+#endif // GIS_BENCH_BENCHCOMMON_H

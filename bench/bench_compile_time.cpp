@@ -1,0 +1,129 @@
+//===- bench/bench_compile_time.cpp - Experiment E2: Figure 7 --------------===//
+//
+// Regenerates the paper's Figure 7 (compile-time overheads of global
+// scheduling).  The paper reports base compile times and a 12-17% increase
+// when the global scheduling steps (unrolling, two global passes,
+// rotation) are enabled:
+//
+//     PROGRAM    BASE(s)   CTO
+//     LI           206     13%
+//     EQNTOTT       78     17%
+//     ESPRESSO     465     12%
+//     GCC         2457     13%
+//
+// Our BASE is the mini-C frontend plus the basic-block scheduler; CTO is
+// the extra wall-clock of the full global pipeline, measured over the
+// SPEC-shaped workloads plus a batch of generated programs (the paper
+// compiled whole SPEC programs; our sources are smaller, so absolute times
+// differ wildly -- the overhead percentage is the comparable number).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "workloads/RandomProgram.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gis;
+using namespace gis::bench;
+
+namespace {
+
+/// The compile job measured: sources of one workload plus a batch of
+/// random programs (to give the scheduler a realistic mix of region
+/// shapes, like a whole SPEC translation unit would).
+std::vector<std::string> compileJob(const Workload &W, uint64_t SeedBase) {
+  std::vector<std::string> Sources;
+  Sources.push_back(W.Source);
+  RandomProgramOptions Opts;
+  Opts.MaxStmtsPerFunction = 30;
+  for (uint64_t K = 0; K != 6; ++K)
+    Sources.push_back(generateRandomMiniC(SeedBase + K, Opts));
+  return Sources;
+}
+
+void compileAll(const std::vector<std::string> &Sources,
+                const PipelineOptions &Opts) {
+  MachineDescription MD = MachineDescription::rs6k();
+  for (const std::string &S : Sources) {
+    auto M = compileMiniCOrDie(S);
+    scheduleModule(*M, MD, Opts);
+    benchmark::DoNotOptimize(M);
+  }
+}
+
+void BM_CompileBase(benchmark::State &State) {
+  const Workload W = specLikeWorkloads()[static_cast<size_t>(State.range(0))];
+  std::vector<std::string> Sources = compileJob(W, 7000);
+  for (auto _ : State)
+    compileAll(Sources, baseOptions());
+  State.SetLabel(W.Name + "/base");
+}
+BENCHMARK(BM_CompileBase)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_CompileGlobal(benchmark::State &State) {
+  const Workload W = specLikeWorkloads()[static_cast<size_t>(State.range(0))];
+  std::vector<std::string> Sources = compileJob(W, 7000);
+  for (auto _ : State)
+    compileAll(Sources, speculativeOptions());
+  State.SetLabel(W.Name + "/global");
+}
+BENCHMARK(BM_CompileGlobal)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void printPaperTable() {
+  struct PaperRow {
+    int BaseSeconds;
+    int CTO;
+  };
+  const PaperRow Paper[] = {{206, 13}, {78, 17}, {465, 12}, {2457, 13}};
+
+  // The paper's only overhead-control mechanism is the cap on region
+  // sizes ("except of the control over the size of the regions that are
+  // being scheduled"); the third column removes the caps to show the
+  // mechanism at work.
+  PipelineOptions Uncapped = speculativeOptions();
+  Uncapped.RegionBlockLimit = ~0u;
+  Uncapped.RegionInstrLimit = ~0u;
+  Uncapped.UnrollMaxBlocks = 16;
+  Uncapped.RotateMaxBlocks = 16;
+
+  std::printf("\nE2 (Figure 7): compile-time overheads of global "
+              "scheduling\n");
+  rule(76);
+  std::printf("%-10s %10s %8s %12s   %s\n", "PROGRAM", "BASE(ms)", "CTO",
+              "CTO(no caps)", "PAPER(base s / CTO)");
+  rule(76);
+  size_t Idx = 0;
+  for (const Workload &W : specLikeWorkloads()) {
+    std::vector<std::string> Sources = compileJob(W, 7000);
+    double Base = secondsPerCall([&] { compileAll(Sources, baseOptions()); });
+    double Global =
+        secondsPerCall([&] { compileAll(Sources, speculativeOptions()); });
+    double NoCaps =
+        secondsPerCall([&] { compileAll(Sources, Uncapped); });
+    double CTO = 100.0 * (Global - Base) / Base;
+    double CTONoCaps = 100.0 * (NoCaps - Base) / Base;
+    std::printf("%-10s %10.2f %7.0f%% %11.0f%%   %d s / %d%%\n",
+                W.Name.c_str(), Base * 1e3, CTO, CTONoCaps,
+                Paper[Idx].BaseSeconds, Paper[Idx].CTO);
+    ++Idx;
+  }
+  rule(76);
+  std::printf(
+      "Notes: our BASE (mini-C frontend + basic-block scheduler) is a tiny\n"
+      "fraction of the XL compiler's full optimizer pipeline, so the same\n"
+      "absolute scheduling work is a much larger *percentage* than the\n"
+      "paper's 12-17%%.  The comparable shapes: the overhead is uniform\n"
+      "across programs, and the paper's region-size caps visibly bound it\n"
+      "(CTO vs CTO-no-caps).\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printPaperTable();
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/bench_pipeline_ablation.cpp - Experiment E6: design choices ---===//
+//
+// Ablation of the Section 6 design decisions: each stage of the pipeline
+// (loop unrolling, loop rotation, speculative level, register renaming,
+// the final basic-block pass) is toggled individually and the run-time
+// improvement over the local-only baseline is reported per workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gis;
+using namespace gis::bench;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  PipelineOptions Opts;
+};
+
+std::vector<Config> configs() {
+  std::vector<Config> C;
+  C.push_back({"full pipeline", speculativeOptions()});
+
+  PipelineOptions NoUnroll = speculativeOptions();
+  NoUnroll.EnableUnroll = false;
+  C.push_back({"- unrolling", NoUnroll});
+
+  PipelineOptions NoRotate = speculativeOptions();
+  NoRotate.EnableRotate = false;
+  C.push_back({"- rotation", NoRotate});
+
+  PipelineOptions NoSpec = usefulOptions();
+  C.push_back({"- speculation", NoSpec});
+
+  PipelineOptions NoRename = speculativeOptions();
+  NoRename.EnableRenaming = false;
+  C.push_back({"- renaming", NoRename});
+
+  PipelineOptions NoPreRename = speculativeOptions();
+  NoPreRename.EnablePreRenaming = false;
+  C.push_back({"- pre-renaming", NoPreRename});
+
+  PipelineOptions NoLocal = speculativeOptions();
+  NoLocal.RunLocalScheduler = false;
+  C.push_back({"- local pass", NoLocal});
+
+  PipelineOptions Deep = speculativeOptions();
+  Deep.MaxSpecDepth = 3;
+  Deep.OnlyTwoInnerLevels = false;
+  C.push_back({"+ deep spec (ext)", Deep});
+
+  PipelineOptions Dup = speculativeOptions();
+  Dup.AllowDuplication = true;
+  C.push_back({"+ duplication (ext)", Dup});
+  return C;
+}
+
+void BM_FullPipeline(benchmark::State &State) {
+  const Workload W = specLikeWorkloads()[static_cast<size_t>(State.range(0))];
+  MachineDescription MD = MachineDescription::rs6k();
+  for (auto _ : State) {
+    auto M = buildWorkload(W, MD, speculativeOptions());
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetLabel(W.Name);
+}
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void printPaperTable() {
+  MachineDescription MD = MachineDescription::rs6k();
+  std::vector<Config> Cs = configs();
+
+  std::printf("\nE6: pipeline-stage ablation (run-time improvement over "
+              "base, RS/6000)\n");
+  rule(90);
+  std::printf("%-19s", "CONFIG");
+  for (const Workload &W : specLikeWorkloads())
+    std::printf("%12s", W.Name.c_str());
+  std::printf("%12s\n", "ALL");
+  rule(90);
+
+  for (const Config &C : Cs) {
+    std::printf("%-19s", C.Name);
+    double TotalBase = 0, TotalSched = 0;
+    for (const Workload &W : specLikeWorkloads()) {
+      uint64_t Base = workloadCycles(W, MD, baseOptions());
+      uint64_t Sched = workloadCycles(W, MD, C.Opts);
+      TotalBase += static_cast<double>(Base);
+      TotalSched += static_cast<double>(Sched);
+      std::printf("%11.1f%%", 100.0 * (1.0 - double(Sched) / double(Base)));
+    }
+    std::printf("%11.1f%%\n", 100.0 * (1.0 - TotalSched / TotalBase));
+  }
+  rule(90);
+  std::printf("each '-' row removes one stage from the paper's Section 6 "
+              "flow; '+ deep spec'\nexercises the paper's future-work "
+              "extension (3-branch speculation, all region\nlevels).\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printPaperTable();
+  return 0;
+}

@@ -1,0 +1,31 @@
+/* The paper's Figure 1: find the largest and the smallest number in a
+   given array (mini-C adaptation; the array is a global, print replaces
+   printf).  Compile and run:
+     gisc examples/data/minmax_fig1.c --run=minmax --arg 63 --cycles --stats
+   (seed the array through a wrapper, or use example_compile_and_schedule
+   which loads this program with test data). */
+int a[4096];
+int minmax(int n) {
+  int i;
+  int u;
+  int v;
+  int min = a[0];
+  int max = min;
+  i = 1;
+  while (i < n) {
+    u = a[i];
+    v = a[i + 1];
+    if (u > v) {
+      if (u > max) max = u;
+      if (v < min) min = v;
+    }
+    else {
+      if (v > max) max = v;
+      if (u < min) min = u;
+    }
+    i = i + 2;
+  }
+  print(min);
+  print(max);
+  return 0;
+}

@@ -1,0 +1,367 @@
+//===- examples/gisc.cpp - Command-line driver ------------------------------===//
+//
+// gisc: compile, schedule, inspect and run programs from the command line.
+//
+//   usage: gisc [options] <input-file>
+//
+//   The input is mini-C by default, or GIS assembly with --asm (the syntax
+//   of the paper's Figure 2, as printed by --dump-ir).
+//
+//   scheduling:
+//     --level none|useful|spec   global scheduling level (default spec)
+//     --spec-depth N             branches to gamble on (default 1)
+//     --order paper|d|cp|source  priority-rule ordering (default paper)
+//     --no-unroll --no-rotate --no-local --no-renaming --no-prerename
+//     --all-levels               schedule every region nesting level
+//     --duplication              enable join replication (Definition 6)
+//   machine:
+//     --machine rs6k             (default)
+//     --machine FXxFPxBR         e.g. --machine 4x1x2
+//   inspection (to stdout):
+//     --dump-ir-before           IR as generated
+//     --dump-ir                  IR after scheduling
+//     --dump-cfg                 CFG in DOT          (pipe to `dot -Tsvg`)
+//     --dump-cspdg               CSPDG + equivalences in DOT, per region
+//     --dump-ddg                 data dependence graph in DOT, per region
+//     --stats                    scheduling statistics
+//     --report                   before/after per-function table
+//   execution:
+//     --run[=ENTRY]              interpret after scheduling (default: main)
+//     --arg N                    argument for the entry (repeatable)
+//     --cycles                   also report simulated RS/6000 cycles
+//     --profile                  run the entry once before scheduling and
+//                                feed the block frequencies to the
+//                                scheduler (profile-guided speculation)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GraphViz.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/RegPressure.h"
+#include "frontend/CodeGen.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "machine/Timing.h"
+#include "sched/Pipeline.h"
+#include "sched/Profile.h"
+#include "sched/Report.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace gis;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  bool InputIsAsm = false;
+  PipelineOptions Pipeline;
+  MachineDescription Machine = MachineDescription::rs6k();
+  bool DumpIRBefore = false;
+  bool DumpIR = false;
+  bool DumpCFG = false;
+  bool DumpCSPDG = false;
+  bool DumpDDG = false;
+  bool Stats = false;
+  bool Report = false;
+  bool Run = false;
+  std::string Entry = "main";
+  std::vector<int64_t> Args;
+  bool Cycles = false;
+  bool Profile = false;
+};
+
+void usage() {
+  std::cerr << "usage: gisc [options] <input-file>   (see header comment "
+               "or README)\n";
+}
+
+bool parseMachine(const std::string &Spec, MachineDescription &MD) {
+  if (Spec == "rs6k") {
+    MD = MachineDescription::rs6k();
+    return true;
+  }
+  unsigned FX = 0, FP = 0, BR = 0;
+  if (std::sscanf(Spec.c_str(), "%ux%ux%u", &FX, &FP, &BR) == 3 && FX &&
+      FP && BR) {
+    MD = MachineDescription::superscalar(FX, FP, BR);
+    return true;
+  }
+  return false;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
+  for (int K = 1; K != Argc; ++K) {
+    std::string A = Argv[K];
+    auto Next = [&]() -> const char * {
+      return K + 1 < Argc ? Argv[++K] : nullptr;
+    };
+    if (A == "--asm") {
+      Cli.InputIsAsm = true;
+    } else if (A == "--level") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "none") == 0)
+        Cli.Pipeline.Level = SchedLevel::None;
+      else if (std::strcmp(V, "useful") == 0)
+        Cli.Pipeline.Level = SchedLevel::Useful;
+      else if (std::strcmp(V, "spec") == 0)
+        Cli.Pipeline.Level = SchedLevel::Speculative;
+      else
+        return false;
+    } else if (A == "--spec-depth") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Pipeline.MaxSpecDepth = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--order") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "paper") == 0)
+        Cli.Pipeline.Order = PriorityOrder::Paper;
+      else if (std::strcmp(V, "d") == 0)
+        Cli.Pipeline.Order = PriorityOrder::DelayFirst;
+      else if (std::strcmp(V, "cp") == 0)
+        Cli.Pipeline.Order = PriorityOrder::CriticalFirst;
+      else if (std::strcmp(V, "source") == 0)
+        Cli.Pipeline.Order = PriorityOrder::SourceOrder;
+      else
+        return false;
+    } else if (A == "--no-unroll") {
+      Cli.Pipeline.EnableUnroll = false;
+    } else if (A == "--no-rotate") {
+      Cli.Pipeline.EnableRotate = false;
+    } else if (A == "--no-local") {
+      Cli.Pipeline.RunLocalScheduler = false;
+    } else if (A == "--no-renaming") {
+      Cli.Pipeline.EnableRenaming = false;
+    } else if (A == "--no-prerename") {
+      Cli.Pipeline.EnablePreRenaming = false;
+    } else if (A == "--all-levels") {
+      Cli.Pipeline.OnlyTwoInnerLevels = false;
+    } else if (A == "--duplication") {
+      Cli.Pipeline.AllowDuplication = true;
+    } else if (A == "--machine") {
+      const char *V = Next();
+      if (!V || !parseMachine(V, Cli.Machine))
+        return false;
+    } else if (A == "--dump-ir-before") {
+      Cli.DumpIRBefore = true;
+    } else if (A == "--dump-ir") {
+      Cli.DumpIR = true;
+    } else if (A == "--dump-cfg") {
+      Cli.DumpCFG = true;
+    } else if (A == "--dump-cspdg") {
+      Cli.DumpCSPDG = true;
+    } else if (A == "--dump-ddg") {
+      Cli.DumpDDG = true;
+    } else if (A == "--stats") {
+      Cli.Stats = true;
+    } else if (A == "--report") {
+      Cli.Report = true;
+    } else if (A == "--run") {
+      Cli.Run = true;
+    } else if (A.rfind("--run=", 0) == 0) {
+      Cli.Run = true;
+      Cli.Entry = A.substr(6);
+    } else if (A == "--arg") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Args.push_back(std::atoll(V));
+    } else if (A == "--cycles") {
+      Cli.Cycles = true;
+    } else if (A == "--profile") {
+      Cli.Profile = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::cerr << "gisc: unknown option " << A << "\n";
+      return false;
+    } else if (Cli.InputPath.empty()) {
+      Cli.InputPath = A;
+    } else {
+      return false;
+    }
+  }
+  return !Cli.InputPath.empty();
+}
+
+/// Dumps the per-region DOT graphs of every function.
+void dumpRegions(const Module &M, const MachineDescription &MD, bool CSPDG,
+                 bool DDG) {
+  for (const auto &F : M.functions()) {
+    LoopInfo LI = LoopInfo::compute(*F);
+    if (!LI.isReducible()) {
+      std::cerr << "gisc: " << F->name()
+                << ": irreducible control flow, no region dumps\n";
+      continue;
+    }
+    std::vector<int> Regions;
+    for (unsigned L = 0; L != LI.numLoops(); ++L)
+      Regions.push_back(static_cast<int>(L));
+    Regions.push_back(-1);
+    for (int RId : Regions) {
+      SchedRegion R = SchedRegion::build(*F, LI, RId);
+      PDG P = PDG::build(*F, R, MD);
+      std::cout << "// function " << F->name() << ", region "
+                << (RId < 0 ? std::string("top") : std::to_string(RId))
+                << "\n";
+      if (CSPDG)
+        std::cout << cspdgToDot(*F, P);
+      if (DDG)
+        std::cout << ddgToDot(*F, P);
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Cli;
+  if (!parseArgs(argc, argv, Cli)) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Cli.InputPath);
+  if (!In) {
+    std::cerr << "gisc: cannot open " << Cli.InputPath << "\n";
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Source = SS.str();
+
+  std::unique_ptr<Module> M;
+  if (Cli.InputIsAsm) {
+    ParseResult R = parseModule(Source);
+    if (!R.ok()) {
+      std::cerr << Cli.InputPath << ":" << R.Line << ": error: " << R.Error
+                << "\n";
+      return 1;
+    }
+    M = std::move(R.M);
+    std::vector<std::string> Problems = verifyModule(*M);
+    for (const std::string &P : Problems)
+      std::cerr << Cli.InputPath << ": verify: " << P << "\n";
+    if (!Problems.empty())
+      return 1;
+  } else {
+    CompileResult R = compileMiniC(Source);
+    if (!R.ok()) {
+      std::cerr << Cli.InputPath << ":" << R.Line << ": error: " << R.Error
+                << "\n";
+      return 1;
+    }
+    M = std::move(R.M);
+  }
+
+  if (Cli.DumpIRBefore)
+    printModule(*M, std::cout);
+
+  // Profile-guided mode: run the entry once on the unscheduled code and
+  // hand the block frequencies to the scheduler.
+  ProfileData Profile;
+  if (Cli.Profile) {
+    Function *Entry = M->findFunction(Cli.Entry);
+    if (!Entry || Entry->params().size() != Cli.Args.size()) {
+      std::cerr << "gisc: --profile needs a runnable entry (--run/--arg)\n";
+      return 1;
+    }
+    Interpreter I(*M);
+    for (size_t K = 0; K != Cli.Args.size(); ++K)
+      I.setReg(Entry->params()[K], Cli.Args[K]);
+    ExecResult R = I.run(*Entry);
+    if (R.Trapped) {
+      std::cerr << "gisc: profiling run trapped: " << R.TrapReason << "\n";
+      return 1;
+    }
+    Profile.record(*Entry, I.blockCounts());
+    Cli.Pipeline.Profile = &Profile;
+  }
+
+  ScheduleReport Rep;
+  PipelineStats Stats;
+  if (Cli.Report) {
+    Rep = scheduleWithReport(*M, Cli.Machine, Cli.Pipeline);
+    Stats = Rep.Stats;
+    printReport(Rep, std::cout);
+  } else {
+    Stats = scheduleModule(*M, Cli.Machine, Cli.Pipeline);
+  }
+
+  if (Cli.DumpIR)
+    printModule(*M, std::cout);
+  if (Cli.DumpCFG)
+    for (const auto &F : M->functions())
+      std::cout << cfgToDot(*F);
+  if (Cli.DumpCSPDG || Cli.DumpDDG)
+    dumpRegions(*M, Cli.Machine, Cli.DumpCSPDG, Cli.DumpDDG);
+
+  if (Cli.Stats) {
+    std::cout << "scheduling statistics:\n"
+              << "  regions scheduled:    " << Stats.Global.RegionsScheduled
+              << "\n  useful motions:       " << Stats.Global.UsefulMotions
+              << "\n  speculative motions:  "
+              << Stats.Global.SpeculativeMotions
+              << "\n  vetoed speculations:  "
+              << Stats.Global.VetoedSpeculations
+              << "\n  register renames:     " << Stats.Global.Renames
+              << "\n  pre-renamed defs:     " << Stats.PreRenamedDefs
+              << "\n  duplicated instrs:    " << Stats.DuplicatedInstrs
+              << "\n  loops unrolled:       " << Stats.LoopsUnrolled
+              << "\n  loops rotated:        " << Stats.LoopsRotated
+              << "\n  regions over size cap: "
+              << Stats.RegionsSkippedBySize
+              << "\n  blocks reordered (local): "
+              << Stats.Local.BlocksReordered << "\n";
+    for (const auto &F : M->functions()) {
+      RegPressure P = computeRegPressure(*F);
+      std::cout << "  " << F->name() << ": peak live GPR/FPR/CR = "
+                << P.maxLive(RegClass::GPR) << "/"
+                << P.maxLive(RegClass::FPR) << "/"
+                << P.maxLive(RegClass::CR) << "\n";
+    }
+  }
+
+  if (Cli.Run) {
+    Function *Entry = M->findFunction(Cli.Entry);
+    if (!Entry) {
+      std::cerr << "gisc: no function '" << Cli.Entry << "'\n";
+      return 1;
+    }
+    if (Entry->params().size() != Cli.Args.size()) {
+      std::cerr << "gisc: '" << Cli.Entry << "' expects "
+                << Entry->params().size() << " arguments, got "
+                << Cli.Args.size() << " (--arg)\n";
+      return 1;
+    }
+    Interpreter I(*M);
+    I.enableTrace(Cli.Cycles);
+    for (size_t K = 0; K != Cli.Args.size(); ++K)
+      I.setReg(Entry->params()[K], Cli.Args[K]);
+    ExecResult R = I.run(*Entry);
+    if (R.Trapped) {
+      std::cerr << "gisc: trap: " << R.TrapReason << "\n";
+      return 1;
+    }
+    for (int64_t V : R.Printed)
+      std::cout << V << "\n";
+    if (R.HasReturnValue)
+      std::cout << "return value: " << R.ReturnValue << "\n";
+    std::cout << "instructions executed: " << R.InstrCount << "\n";
+    if (Cli.Cycles) {
+      TimingSimulator Sim(Cli.Machine);
+      TimingResult T = Sim.simulate(I.trace());
+      std::cout << "simulated cycles: " << T.Cycles
+                << "  (ipc " << T.ipc() << ")\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+//===- examples/quickstart.cpp - GIS in five minutes -----------------------===//
+//
+// Quickstart for the GIS library: assemble a small program, build its PDG,
+// run the global scheduler, and measure the speedup on the simulated
+// RS/6000.
+//
+//   $ ./example_quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "analysis/PDG.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "machine/Timing.h"
+#include "sched/Pipeline.h"
+
+#include <iostream>
+
+using namespace gis;
+
+int main() {
+  // 1. A program in GIS assembly: a loop that sums an array, with an
+  //    if inside (small basic blocks, the paper's problem setting).
+  //    You can also build IR with gis::IRBuilder or compile mini-C with
+  //    gis::compileMiniC.
+  const char *Source = R"(
+func abssum {
+PRE:
+  LI r1 = 1000       ; array base
+  LI r2 = 0          ; i
+  LI r3 = 0          ; acc
+LOOP:
+  LU r4, r1 = mem[r1 + 4]
+  CI cr0 = r4, 0
+  BF NEG_, cr0, lt
+POS:
+  A r3 = r3, r4
+  B NEXT
+NEG_:
+  S r3 = r3, r4
+NEXT:
+  AI r2 = r2, 1
+  C cr1 = r2, r9
+  BT LOOP, cr1, lt
+DONE:
+  RET r3
+}
+)";
+  std::unique_ptr<Module> M = parseModuleOrDie(Source);
+  Function &F = *M->functions()[0];
+
+  std::cout << "=== original program ===\n";
+  printFunction(F, std::cout);
+
+  // 2. Inspect the PDG of the loop region (control dependences,
+  //    equivalence classes, data dependences).
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion Region = SchedRegion::build(F, LI, 0);
+  MachineDescription MD = MachineDescription::rs6k();
+  PDG P = PDG::build(F, Region, MD);
+  std::cout << "\n=== PDG of the loop ===\n";
+  P.print(F, std::cout);
+
+  // 3. Measure the original code: interpret (collecting a trace), then
+  //    feed the trace to the cycle-accurate machine model.
+  auto MeasureCycles = [&](const Module &Mod) {
+    Interpreter I(Mod);
+    I.enableTrace(true);
+    for (int K = 1; K <= 64; ++K)
+      I.storeWord(1000 + 4 * K, (K % 3 == 0) ? -K : K);
+    I.setReg(Reg::gpr(9), 64);
+    ExecResult R = I.run(*Mod.functions()[0]);
+    if (R.Trapped) {
+      std::cerr << "trap: " << R.TrapReason << "\n";
+      return std::pair<uint64_t, int64_t>{0, 0};
+    }
+    TimingSimulator Sim(MD);
+    return std::pair<uint64_t, int64_t>{Sim.simulate(I.trace()).Cycles,
+                                        R.ReturnValue};
+  };
+  auto [BaseCycles, BaseValue] = MeasureCycles(*M);
+
+  // 4. Run the paper's full scheduling pipeline: unroll, global
+  //    scheduling (useful + 1-branch speculative), rotation, second
+  //    pass, basic-block scheduling.
+  PipelineOptions Opts;
+  PipelineStats Stats = schedulePipeline(F, MD, Opts);
+
+  std::cout << "\n=== scheduled program ===\n";
+  printFunction(F, std::cout);
+
+  auto [SchedCycles, SchedValue] = MeasureCycles(*M);
+
+  std::cout << "\n=== results ===\n";
+  std::cout << "useful motions:       " << Stats.Global.UsefulMotions << "\n";
+  std::cout << "speculative motions:  " << Stats.Global.SpeculativeMotions
+            << "\n";
+  std::cout << "register renames:     " << Stats.Global.Renames << "\n";
+  std::cout << "loops unrolled:       " << Stats.LoopsUnrolled << "\n";
+  std::cout << "loops rotated:        " << Stats.LoopsRotated << "\n";
+  std::cout << "result (must match):  " << BaseValue << " -> " << SchedValue
+            << "\n";
+  std::cout << "cycles:               " << BaseCycles << " -> " << SchedCycles
+            << "\n";
+  if (SchedValue != BaseValue) {
+    std::cerr << "ERROR: scheduling changed the program result!\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- examples/speculation_demo.cpp - Section 5.3 walk-through ------------===//
+//
+// Interactive reproduction of the paper's Section 5.3 discussion: why
+// speculative motion needs more than data dependences.
+//
+// The example:
+//
+//     if (cond) x = 5; else x = 3;
+//     print(x);
+//
+// Both assignments can be hoisted above the branch individually, but not
+// both: the second would clobber the value the first made live.  The
+// demo schedules the example with the live-on-exit guard on and with
+// renaming enabled, and shows the Figure 6 rename rescue on the minmax
+// compares (cr6 conflict).
+//
+//   $ ./example_speculation_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "analysis/Region.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "sched/GlobalScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <iostream>
+
+using namespace gis;
+
+namespace {
+
+const char *Section53 = R"(
+func f(r8, r9) {
+B1:
+  C cr0 = r8, r9
+  BF B3, cr0, gt
+B2:
+  LI r1 = 5          ; x = 5
+  B B4
+B3:
+  LI r1 = 3          ; x = 3
+B4:
+  CALL print(r1)     ; print(x)
+  RET
+}
+)";
+
+void scheduleAndShow(const char *Title, const char *Text,
+                     GlobalSchedOptions Opts) {
+  std::cout << "=== " << Title << " ===\n";
+  auto M = parseModuleOrDie(Text);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, -1);
+  GlobalScheduler GS(MachineDescription::rs6k(), Opts);
+  GlobalSchedStats Stats = GS.scheduleRegion(F, R);
+  printFunction(F, std::cout);
+  std::cout << "speculative motions: " << Stats.SpeculativeMotions
+            << ", vetoed by live-on-exit: " << Stats.VetoedSpeculations
+            << ", renames: " << Stats.Renames << "\n\n";
+
+  // Prove correctness on both branch outcomes.
+  for (int64_t R8 : {1, 9}) {
+    Interpreter I(*M);
+    I.setReg(F.params()[0], R8);
+    I.setReg(F.params()[1], 5);
+    ExecResult E = I.run(F);
+    std::cout << "  r8=" << R8 << " -> prints " << E.Printed.at(0)
+              << (E.Printed.at(0) == (R8 > 5 ? 5 : 3) ? "  (correct)"
+                                                      : "  (WRONG!)")
+            << "\n";
+  }
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Paper Section 5.3: \"it is apparent that both of them are "
+               "not allowed to move\"\n(into B1) \"since a wrong value may "
+               "be printed in B4.\"  Data dependences do\nnot prevent the "
+               "motion; the dynamically maintained live-on-exit sets do.\n\n";
+
+  GlobalSchedOptions Spec;
+  Spec.Level = SchedLevel::Speculative;
+  Spec.EnableRenaming = false;
+  scheduleAndShow("x=5 / x=3 with the live-on-exit guard (no renaming)",
+                  Section53, Spec);
+
+  std::cout << "Note: exactly one assignment moved; the second was vetoed "
+               "because x (r1)\nbecame live on exit from B1 after the "
+               "first motion.  Renaming cannot rescue\nit here -- the "
+               "value escapes to B4.\n\n";
+
+  // The Figure 6 situation: the conflict is a compare result consumed in
+  // the candidate's own block, so renaming *does* rescue it.
+  std::cout << "Contrast with the paper's Figure 6: I12's cr6 conflicts "
+               "with I5's after\nI5 moves, but the value is block-local, "
+               "so the scheduler renames it:\n\n";
+  auto M = minmaxFigure2Module();
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, 0);
+  GlobalSchedOptions Opts;
+  Opts.Level = SchedLevel::Speculative;
+  GlobalScheduler GS(MachineDescription::rs6k(), Opts);
+  GlobalSchedStats Stats = GS.scheduleRegion(F, R);
+  printFunction(F, std::cout);
+  std::cout << "speculative motions: " << Stats.SpeculativeMotions
+            << ", renames: " << Stats.Renames
+            << "  (the second hoisted compare now writes a fresh CR)\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+//===- analysis/CFG.h - Function CFG adapter --------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the DiGraph view of a Function's control flow graph.  Node
+/// indices equal BlockIds.  Callers must have run Function::recomputeCFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_CFG_H
+#define GIS_ANALYSIS_CFG_H
+
+#include "analysis/Graph.h"
+#include "ir/Function.h"
+
+namespace gis {
+
+/// The CFG of \p F as a DiGraph (node index == BlockId).
+inline DiGraph buildCFG(const Function &F) {
+  DiGraph G(F.numBlocks(), F.entry());
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    for (BlockId S : F.block(B).succs())
+      G.addEdge(B, S);
+  return G;
+}
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_CFG_H

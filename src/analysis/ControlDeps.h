@@ -1,0 +1,101 @@
+//===- analysis/ControlDeps.h - Forward control dependences ----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control subgraph of the Program Dependence Graph (CSPDG) for one
+/// scheduling region, per Ferrante-Ottenstein-Warren computed on the
+/// acyclic forward CFG (paper Section 4.1, following [CHH89]: control
+/// dependences through back edges are not computed).
+///
+/// Provides what the scheduler needs:
+///  - per-node control dependence sets (controller, condition label),
+///  - "identically control dependent" equivalence classes, whose members
+///    ordered by dominance give the paper's EQUIV sets (Definitions 3-4),
+///  - CSPDG successor lists and path lengths (the "degree of
+///    speculativeness", Definition 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_CONTROLDEPS_H
+#define GIS_ANALYSIS_CONTROLDEPS_H
+
+#include "analysis/Dominators.h"
+#include "analysis/Region.h"
+
+#include <memory>
+#include <optional>
+
+namespace gis {
+
+/// One control dependence: this node executes iff control leaves
+/// \c Controller along its successor edge number \c EdgeLabel.
+struct CDep {
+  unsigned Controller;
+  unsigned EdgeLabel;
+
+  bool operator==(const CDep &RHS) const {
+    return Controller == RHS.Controller && EdgeLabel == RHS.EdgeLabel;
+  }
+  bool operator<(const CDep &RHS) const {
+    if (Controller != RHS.Controller)
+      return Controller < RHS.Controller;
+    return EdgeLabel < RHS.EdgeLabel;
+  }
+};
+
+/// CSPDG of one region.
+class ControlDeps {
+public:
+  /// Computes control dependences for region \p R.
+  static ControlDeps compute(const SchedRegion &R);
+
+  /// Control dependences of \p Node, sorted.
+  const std::vector<CDep> &deps(unsigned Node) const { return Deps[Node]; }
+
+  /// Nodes that are control dependent on \p Node (CSPDG successors),
+  /// deduplicated, in ascending node order.
+  const std::vector<unsigned> &cspdgSuccs(unsigned Node) const {
+    return Succs[Node];
+  }
+
+  /// True if \p A and \p B have identical control-dependence sets
+  /// ("identically control dependent", the paper's practical test for
+  /// equivalence).
+  bool identicallyControlDependent(unsigned A, unsigned B) const {
+    return ClassOf[A] == ClassOf[B];
+  }
+
+  /// Equivalence class id of \p Node.
+  unsigned equivClass(unsigned Node) const { return ClassOf[Node]; }
+
+  /// Members of each equivalence class, ordered by dominance (dominators
+  /// first), matching the paper's dashed-edge ordering in Figure 4.
+  const std::vector<std::vector<unsigned>> &equivClasses() const {
+    return Classes;
+  }
+
+  /// Length of the shortest CSPDG path from \p A to \p B: the number of
+  /// branches an instruction motion from B to A gambles on (Definition 7).
+  /// std::nullopt if B is not reachable from A in the CSPDG.
+  std::optional<unsigned> specDegree(unsigned A, unsigned B) const;
+
+  /// Dominators / postdominators of the region's forward graph.
+  const DomTree &dom() const { return *Dom; }
+  const PostDomTree &postDom() const { return *PDom; }
+
+private:
+  std::vector<std::vector<CDep>> Deps;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<unsigned> ClassOf;
+  std::vector<std::vector<unsigned>> Classes;
+  std::shared_ptr<DomTree> Dom;
+  std::shared_ptr<PostDomTree> PDom;
+};
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_CONTROLDEPS_H

@@ -1,0 +1,116 @@
+//===- analysis/DataDeps.h - Instruction data dependences -------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data subgraph of the PDG for one scheduling region (paper Section
+/// 4.2).  Edges are flow (def -> use, carrying the machine delay),
+/// anti (use -> def), output (def -> def) and memory dependences, computed
+/// both intra-block and inter-block (for block pairs connected in the
+/// region's forward CFG), with the paper's transitive reduction: an edge is
+/// skipped when it is implied by already-recorded edges.
+///
+/// Collapsed inner loops appear as single "barrier" nodes that aggregate
+/// the loop's register defs/uses and act as memory-touching, immovable
+/// pseudo-instructions, so no instruction can be moved across an inner
+/// loop it depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_DATADEPS_H
+#define GIS_ANALYSIS_DATADEPS_H
+
+#include "analysis/Region.h"
+#include "machine/MachineDescription.h"
+
+#include <vector>
+
+namespace gis {
+
+/// Kind of a data dependence edge (paper Section 4.2).
+enum class DepKind : uint8_t {
+  Flow,   ///< register defined in From, used in To (carries a delay)
+  Anti,   ///< register used in From, defined in To
+  Output, ///< register defined in both
+  Memory, ///< unresolved memory conflict
+};
+
+/// Returns a short name for \p K ("flow", "anti", ...).
+const char *depKindName(DepKind K);
+
+/// One dependence edge between DDG node indices.
+struct DepEdge {
+  unsigned From;
+  unsigned To;
+  DepKind Kind;
+  unsigned Delay; ///< nonzero only on flow edges (paper Section 4.2)
+};
+
+/// The data dependence graph of one region.
+class DataDeps {
+public:
+  /// One DDG node: a real instruction or an inner-loop barrier.
+  struct Node {
+    InstrId Instr = InvalidId; ///< valid for real instructions
+    unsigned RegionNode = 0;   ///< owning node in the SchedRegion
+    // Barrier payload (summaries only):
+    std::vector<Reg> BarrierDefs;
+    std::vector<Reg> BarrierUses;
+
+    bool isBarrier() const { return Instr == InvalidId; }
+  };
+
+  /// Builds the DDG for region \p R of function \p F, with flow-edge
+  /// delays taken from \p MD.
+  static DataDeps compute(const Function &F, const SchedRegion &R,
+                          const MachineDescription &MD);
+
+  const std::vector<Node> &ddgNodes() const { return Nodes; }
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  const Node &ddgNode(unsigned N) const { return Nodes[N]; }
+
+  /// DDG node index of \p Instr, or -1 when the instruction is not in the
+  /// region's real blocks.
+  int nodeOfInstr(InstrId Instr) const {
+    return Instr < InstrToNode.size() ? InstrToNode[Instr] : -1;
+  }
+
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Indices into edges() of the edges leaving / entering \p Node.
+  const std::vector<unsigned> &succEdges(unsigned Node) const {
+    return Succ[Node];
+  }
+  const std::vector<unsigned> &predEdges(unsigned Node) const {
+    return Pred[Node];
+  }
+
+  /// True if there is a direct edge From -> To.
+  bool hasEdge(unsigned From, unsigned To) const {
+    for (unsigned E : Succ[From])
+      if (Edges[E].To == To)
+        return true;
+    return false;
+  }
+
+  /// True if \p From reaches \p To through dependence edges (transitive).
+  bool depends(unsigned From, unsigned To) const {
+    return Ancestors[To].test(From);
+  }
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<int> InstrToNode;
+  std::vector<DepEdge> Edges;
+  std::vector<std::vector<unsigned>> Succ;
+  std::vector<std::vector<unsigned>> Pred;
+  /// Ancestors[N] = DDG nodes with a dependence path into N.
+  std::vector<BitSet> Ancestors;
+};
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_DATADEPS_H

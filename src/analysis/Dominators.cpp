@@ -1,0 +1,90 @@
+//===- analysis/Dominators.cpp - Dominator / postdominator trees ----------===//
+
+#include "analysis/Dominators.h"
+
+using namespace gis;
+
+DomTree::DomTree(const DiGraph &G) : Root(G.Entry) {
+  unsigned N = G.NumNodes;
+  IDom.assign(N, NoDominator);
+  Depth.assign(N, 0);
+  Children.assign(N, {});
+  if (N == 0)
+    return;
+
+  // Cooper-Harvey-Kennedy: iterate intersection over reverse postorder.
+  std::vector<unsigned> RPO = reversePostOrder(G);
+  std::vector<unsigned> RPOIndex(N, ~0u);
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[Root] = Root; // temporary self-loop to seed the intersection
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : RPO) {
+      if (Node == Root)
+        continue;
+      unsigned NewIDom = NoDominator;
+      for (unsigned P : G.Preds[Node]) {
+        if (IDom[P] == NoDominator || RPOIndex[P] == ~0u)
+          continue; // predecessor not processed / unreachable
+        NewIDom = NewIDom == NoDominator ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != NoDominator && IDom[Node] != NewIDom) {
+        IDom[Node] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[Root] = NoDominator;
+
+  // Depths and children, walking nodes in RPO (parents first).
+  for (unsigned Node : RPO) {
+    if (Node == Root || IDom[Node] == NoDominator)
+      continue;
+    Depth[Node] = Depth[IDom[Node]] + 1;
+    Children[IDom[Node]].push_back(Node);
+  }
+}
+
+bool DomTree::dominates(unsigned A, unsigned B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B up the tree until reaching A's depth.
+  unsigned Cur = B;
+  while (Depth[Cur] > Depth[A]) {
+    Cur = IDom[Cur];
+    GIS_ASSERT(Cur != NoDominator, "broken dominator tree");
+  }
+  return Cur == A;
+}
+
+DiGraph PostDomTree::buildReversed(const DiGraph &G,
+                                   const std::vector<unsigned> &ExtraExits) {
+  unsigned ExitNode = G.NumNodes;
+  DiGraph Ext(G.NumNodes + 1, G.Entry);
+  for (unsigned N = 0; N != G.NumNodes; ++N)
+    for (unsigned S : G.Succs[N])
+      Ext.addEdge(N, S);
+  for (unsigned N = 0; N != G.NumNodes; ++N)
+    if (G.Succs[N].empty())
+      Ext.addEdge(N, ExitNode);
+  for (unsigned N : ExtraExits)
+    Ext.addEdge(N, ExitNode);
+  return Ext.reversed(ExitNode);
+}
+
+PostDomTree::PostDomTree(const DiGraph &G,
+                         const std::vector<unsigned> &ExtraExits)
+    : ExitNode(G.NumNodes), Tree(buildReversed(G, ExtraExits)) {}

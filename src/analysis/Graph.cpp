@@ -1,0 +1,131 @@
+//===- analysis/Graph.cpp - Generic directed graph utilities --------------===//
+
+#include "analysis/Graph.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+std::vector<unsigned> gis::postOrder(const DiGraph &G) {
+  std::vector<unsigned> Order;
+  if (G.NumNodes == 0)
+    return Order;
+  std::vector<uint8_t> State(G.NumNodes, 0); // 0 new, 1 open, 2 done
+  // Iterative DFS with an explicit stack of (node, next-successor-index).
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Stack.emplace_back(G.Entry, 0);
+  State[G.Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[N, NextIdx] = Stack.back();
+    if (NextIdx < G.Succs[N].size()) {
+      unsigned S = G.Succs[N][NextIdx++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      State[N] = 2;
+      Order.push_back(N);
+      Stack.pop_back();
+    }
+  }
+  return Order;
+}
+
+std::vector<unsigned> gis::reversePostOrder(const DiGraph &G) {
+  std::vector<unsigned> Order = postOrder(G);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+BitSet gis::reachableFrom(const DiGraph &G, unsigned From) {
+  BitSet Reached(G.NumNodes);
+  std::vector<unsigned> Work = {From};
+  Reached.set(From);
+  while (!Work.empty()) {
+    unsigned N = Work.back();
+    Work.pop_back();
+    for (unsigned S : G.Succs[N])
+      if (!Reached.test(S)) {
+        Reached.set(S);
+        Work.push_back(S);
+      }
+  }
+  return Reached;
+}
+
+std::vector<BitSet> gis::allPairsReachability(const DiGraph &G) {
+  // For the acyclic case a reverse-topological sweep would do; this version
+  // handles cycles too by iterating to a fixed point (regions are small:
+  // the paper caps them at 64 blocks).
+  std::vector<BitSet> Reach(G.NumNodes, BitSet(G.NumNodes));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned N = 0; N != G.NumNodes; ++N)
+      for (unsigned S : G.Succs[N]) {
+        if (!Reach[N].test(S)) {
+          Reach[N].set(S);
+          Changed = true;
+        }
+        Changed |= Reach[N].unionWith(Reach[S]);
+      }
+  }
+  return Reach;
+}
+
+std::vector<unsigned> gis::topologicalOrder(const DiGraph &G) {
+  // Kahn's algorithm over the nodes reachable from the entry.
+  BitSet Reachable = reachableFrom(G, G.Entry);
+  std::vector<unsigned> InDegree(G.NumNodes, 0);
+  for (unsigned N = 0; N != G.NumNodes; ++N) {
+    if (!Reachable.test(N))
+      continue;
+    for (unsigned S : G.Succs[N])
+      if (Reachable.test(S))
+        ++InDegree[S];
+  }
+  std::vector<unsigned> Ready;
+  // Keep node-index order within ties for determinism; process smallest
+  // index first via a sorted insertion into a worklist.
+  for (unsigned N = 0; N != G.NumNodes; ++N)
+    if (Reachable.test(N) && InDegree[N] == 0)
+      Ready.push_back(N);
+  std::vector<unsigned> Order;
+  for (size_t K = 0; K != Ready.size(); ++K) {
+    unsigned N = Ready[K];
+    Order.push_back(N);
+    for (unsigned S : G.Succs[N])
+      if (Reachable.test(S) && --InDegree[S] == 0)
+        Ready.push_back(S);
+  }
+  GIS_ASSERT(Order.size() == Reachable.count(),
+             "topologicalOrder called on a cyclic graph");
+  return Order;
+}
+
+bool gis::isAcyclic(const DiGraph &G) {
+  BitSet Reachable = reachableFrom(G, G.Entry);
+  std::vector<unsigned> InDegree(G.NumNodes, 0);
+  unsigned NumReachable = 0;
+  for (unsigned N = 0; N != G.NumNodes; ++N) {
+    if (!Reachable.test(N))
+      continue;
+    ++NumReachable;
+    for (unsigned S : G.Succs[N])
+      if (Reachable.test(S))
+        ++InDegree[S];
+  }
+  std::vector<unsigned> Ready;
+  for (unsigned N = 0; N != G.NumNodes; ++N)
+    if (Reachable.test(N) && InDegree[N] == 0)
+      Ready.push_back(N);
+  size_t Done = 0;
+  for (size_t K = 0; K != Ready.size(); ++K) {
+    ++Done;
+    for (unsigned S : G.Succs[Ready[K]])
+      if (Reachable.test(S) && --InDegree[S] == 0)
+        Ready.push_back(S);
+  }
+  return Done == NumReachable;
+}

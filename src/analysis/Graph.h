@@ -1,0 +1,87 @@
+//===- analysis/Graph.h - Generic directed graph utilities -----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense directed-graph representation shared by the CFG-level
+/// analyses (dominators, postdominators, control dependences, region
+/// graphs).  Nodes are dense unsigned indices; callers keep the mapping to
+/// blocks/instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_GRAPH_H
+#define GIS_ANALYSIS_GRAPH_H
+
+#include "support/Assert.h"
+#include "support/BitSet.h"
+
+#include <vector>
+
+namespace gis {
+
+/// Dense directed graph with a designated entry node.
+struct DiGraph {
+  unsigned NumNodes = 0;
+  unsigned Entry = 0;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+
+  DiGraph() = default;
+  explicit DiGraph(unsigned N, unsigned Entry = 0)
+      : NumNodes(N), Entry(Entry), Succs(N), Preds(N) {}
+
+  void addEdge(unsigned From, unsigned To) {
+    GIS_ASSERT(From < NumNodes && To < NumNodes, "edge endpoint out of range");
+    // Keep edges unique; CFGs occasionally produce duplicates (conditional
+    // branch to the fall-through block).
+    for (unsigned S : Succs[From])
+      if (S == To)
+        return;
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  }
+
+  bool hasEdge(unsigned From, unsigned To) const {
+    for (unsigned S : Succs[From])
+      if (S == To)
+        return true;
+    return false;
+  }
+
+  /// Graph with every edge reversed; \p NewEntry becomes the entry.
+  DiGraph reversed(unsigned NewEntry) const {
+    DiGraph R(NumNodes, NewEntry);
+    for (unsigned N = 0; N != NumNodes; ++N)
+      for (unsigned S : Succs[N])
+        R.addEdge(S, N);
+    return R;
+  }
+};
+
+/// Reverse postorder of the nodes reachable from the entry.
+std::vector<unsigned> reversePostOrder(const DiGraph &G);
+
+/// Postorder of the nodes reachable from the entry.
+std::vector<unsigned> postOrder(const DiGraph &G);
+
+/// Bit set of nodes reachable from \p From.
+BitSet reachableFrom(const DiGraph &G, unsigned From);
+
+/// All-pairs reachability: Result[N] = set of nodes reachable from N
+/// (excluding N itself unless N lies on a cycle through N).
+std::vector<BitSet> allPairsReachability(const DiGraph &G);
+
+/// A topological order of an acyclic graph (asserts on cycles).
+std::vector<unsigned> topologicalOrder(const DiGraph &G);
+
+/// True if the graph (restricted to nodes reachable from the entry) is
+/// acyclic.
+bool isAcyclic(const DiGraph &G);
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_GRAPH_H

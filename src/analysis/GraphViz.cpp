@@ -1,0 +1,118 @@
+//===- analysis/GraphViz.cpp - DOT rendering of CFG / PDG ------------------===//
+
+#include "analysis/GraphViz.h"
+
+#include "ir/Printer.h"
+#include "support/Format.h"
+
+using namespace gis;
+
+namespace {
+
+/// Escapes a string for a double-quoted DOT label.
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string nodeName(const Function &F, const SchedRegion &R, unsigned N) {
+  const RegionNode &RN = R.node(N);
+  if (RN.isBlock())
+    return F.block(RN.Block).label();
+  return formatString("loop#%d", RN.LoopIndex);
+}
+
+} // namespace
+
+std::string gis::cfgToDot(const Function &F) {
+  std::string Out = "digraph cfg {\n  node [shape=box, fontname=monospace];\n";
+  for (BlockId B : F.layout()) {
+    const BasicBlock &BB = F.block(B);
+    Out += formatString("  %u [label=\"%s\\n(%zu instrs)\"];\n", B,
+                        escape(BB.label()).c_str(), BB.size());
+  }
+  for (BlockId B : F.layout()) {
+    const BasicBlock &BB = F.block(B);
+    InstrId Term = F.terminatorOf(B);
+    bool Conditional =
+        Term != InvalidId && (F.instr(Term).opcode() == Opcode::BT ||
+                              F.instr(Term).opcode() == Opcode::BF);
+    for (size_t K = 0; K != BB.succs().size(); ++K) {
+      const char *Label = "";
+      if (Conditional)
+        Label = K == 0 ? "taken" : "fall";
+      Out += formatString("  %u -> %u [label=\"%s\"];\n", B, BB.succs()[K],
+                          Label);
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string gis::cspdgToDot(const Function &F, const PDG &P) {
+  const SchedRegion &R = P.region();
+  const ControlDeps &CD = P.controlDeps();
+
+  std::string Out =
+      "digraph cspdg {\n  node [shape=ellipse, fontname=monospace];\n";
+  for (unsigned N = 0; N != R.numNodes(); ++N)
+    Out += formatString("  %u [label=\"%s\"];\n", N,
+                        escape(nodeName(F, R, N)).c_str());
+
+  // Solid control dependence edges, controller -> dependent.
+  for (unsigned N = 0; N != R.numNodes(); ++N)
+    for (const CDep &D : CD.deps(N))
+      Out += formatString("  %u -> %u [label=\"e%u\"];\n", D.Controller, N,
+                          D.EdgeLabel);
+
+  // Dashed equivalence edges in dominance order (the paper's Figure 4).
+  for (const std::vector<unsigned> &Class : CD.equivClasses())
+    for (size_t K = 0; K + 1 < Class.size(); ++K)
+      Out += formatString(
+          "  %u -> %u [style=dashed, dir=none, constraint=false];\n",
+          Class[K], Class[K + 1]);
+
+  Out += "}\n";
+  return Out;
+}
+
+std::string gis::ddgToDot(const Function &F, const PDG &P) {
+  const SchedRegion &R = P.region();
+  const DataDeps &DD = P.dataDeps();
+
+  std::string Out =
+      "digraph ddg {\n  node [shape=box, fontname=monospace];\n";
+
+  // Cluster instructions by owning region node.
+  for (unsigned RN = 0; RN != R.numNodes(); ++RN) {
+    Out += formatString("  subgraph cluster_%u {\n    label=\"%s\";\n", RN,
+                        escape(nodeName(F, R, RN)).c_str());
+    for (unsigned N = 0; N != DD.numNodes(); ++N) {
+      const DataDeps::Node &Node = DD.ddgNode(N);
+      if (Node.RegionNode != RN)
+        continue;
+      std::string Label = Node.isBarrier()
+                              ? std::string("(inner loop barrier)")
+                              : instructionToString(F, Node.Instr);
+      Out += formatString("    n%u [label=\"%s\"];\n", N,
+                          escape(Label).c_str());
+    }
+    Out += "  }\n";
+  }
+
+  for (const DepEdge &E : DD.edges()) {
+    const char *Style = E.Kind == DepKind::Flow ? "solid" : "dashed";
+    std::string Label(depKindName(E.Kind));
+    if (E.Delay)
+      Label += formatString("/%u", E.Delay);
+    Out += formatString("  n%u -> n%u [label=\"%s\", style=%s];\n", E.From,
+                        E.To, Label.c_str(), Style);
+  }
+  Out += "}\n";
+  return Out;
+}

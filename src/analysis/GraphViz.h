@@ -1,0 +1,41 @@
+//===- analysis/GraphViz.h - DOT rendering of CFG / PDG ---------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) renderers for the structures the paper draws: the
+/// control flow graph (Figure 3), the control subgraph of the PDG with its
+/// equivalence classes (Figure 4, including the dashed equivalence edges),
+/// and the data dependence graph.  Feed the output to `dot -Tsvg`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_GRAPHVIZ_H
+#define GIS_ANALYSIS_GRAPHVIZ_H
+
+#include "analysis/PDG.h"
+#include "ir/Function.h"
+
+#include <string>
+
+namespace gis {
+
+/// The CFG of \p F as a DOT digraph (one node per block, conditional
+/// edges labelled taken/fall).
+std::string cfgToDot(const Function &F);
+
+/// The CSPDG of one region as a DOT digraph: solid edges are control
+/// dependences (labelled with the branch edge gambled on), dashed edges
+/// connect equivalent nodes in dominance order — the paper's Figure 4.
+std::string cspdgToDot(const Function &F, const PDG &P);
+
+/// The data dependence graph of one region as a DOT digraph, one node per
+/// instruction (clustered by block), edges labelled kind/delay.
+std::string ddgToDot(const Function &F, const PDG &P);
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_GRAPHVIZ_H

@@ -1,0 +1,76 @@
+//===- analysis/Liveness.cpp - Live-register dataflow ---------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace gis;
+
+Liveness Liveness::compute(const Function &F) {
+  Liveness LV;
+  // Dense universe: per-class index ranges from the function's register
+  // counters (slot = class base + register index).
+  LV.ClassBase[0] = 0;
+  LV.ClassBase[1] = F.numRegs(RegClass::GPR);
+  LV.ClassBase[2] = LV.ClassBase[1] + F.numRegs(RegClass::FPR);
+  LV.Universe = LV.ClassBase[2] + F.numRegs(RegClass::CR);
+
+  unsigned U = LV.Universe;
+  unsigned N = F.numBlocks();
+
+  // Per block: upward-exposed uses and kills.
+  std::vector<BitSet> UEVar(N, BitSet(U)), Kill(N, BitSet(U));
+  for (BlockId B = 0; B != N; ++B) {
+    for (InstrId Id : F.block(B).instrs()) {
+      const Instruction &I = F.instr(Id);
+      for (Reg R : I.uses()) {
+        unsigned Idx = LV.denseIndex(R);
+        if (!Kill[B].test(Idx))
+          UEVar[B].set(Idx);
+      }
+      for (Reg R : I.defs())
+        Kill[B].set(LV.denseIndex(R));
+    }
+  }
+
+  // Seed LiveIn with the upward-exposed uses so the "LiveIn is a function
+  // of LiveOut" early-out below is valid from the first sweep.
+  LV.LiveIn = UEVar;
+  LV.LiveOut.assign(N, BitSet(U));
+
+  // Backward fixed point: LiveOut(B) = union of LiveIn(S);
+  // LiveIn(B) = UEVar(B) | (LiveOut(B) - Kill(B)).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned K = N; K-- > 0;) {
+      BlockId B = K;
+      BitSet Out(U);
+      for (BlockId S : F.block(B).succs())
+        Out.unionWith(LV.LiveIn[S]);
+      if (Out == LV.LiveOut[B])
+        continue; // LiveIn is a function of LiveOut: nothing to redo
+      BitSet In = Out;
+      In.subtract(Kill[B]);
+      In.unionWith(UEVar[B]);
+      LV.LiveOut[B] = std::move(Out);
+      if (!(In == LV.LiveIn[B])) {
+        LV.LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return LV;
+}
+
+Reg Liveness::regForIndex(unsigned Index) const {
+  if (Index >= ClassBase[2])
+    return Reg::cr(Index - ClassBase[2]);
+  if (Index >= ClassBase[1])
+    return Reg::fpr(Index - ClassBase[1]);
+  return Reg::gpr(Index);
+}
+
+std::vector<Reg> Liveness::liveOutRegs(BlockId B) const {
+  std::vector<Reg> Out;
+  LiveOut[B].forEach([&](unsigned I) { Out.push_back(regForIndex(I)); });
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- analysis/Liveness.h - Live-register dataflow -------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward liveness over symbolic registers.  The scheduler uses
+/// live-on-exit sets to guard speculative motion (paper Section 5.3: an
+/// instruction must not be moved speculatively into a block if it writes a
+/// register that is live on exit from that block), recomputing them after
+/// each speculative motion -- so this analysis is on the compile-time hot
+/// path and uses dense per-class register indexing throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_LIVENESS_H
+#define GIS_ANALYSIS_LIVENESS_H
+
+#include "ir/Function.h"
+#include "support/BitSet.h"
+
+#include <array>
+#include <vector>
+
+namespace gis {
+
+/// Per-block live-in / live-out register sets of one function.
+class Liveness {
+public:
+  /// Computes liveness for \p F (CFG must be up to date).
+  static Liveness compute(const Function &F);
+
+  /// True if \p R is live on exit from block \p B.
+  bool isLiveOut(BlockId B, Reg R) const {
+    return LiveOut[B].test(denseIndex(R));
+  }
+
+  /// True if \p R is live on entry to block \p B.
+  bool isLiveIn(BlockId B, Reg R) const {
+    return LiveIn[B].test(denseIndex(R));
+  }
+
+  /// Number of distinct register slots in the universe.
+  unsigned universeSize() const { return Universe; }
+
+  /// Registers live on exit from \p B, materialized as Reg values.
+  std::vector<Reg> liveOutRegs(BlockId B) const;
+
+private:
+  unsigned denseIndex(Reg R) const {
+    GIS_ASSERT(R.isValid(), "liveness query on invalid register");
+    return ClassBase[static_cast<unsigned>(R.regClass())] + R.index();
+  }
+
+  Reg regForIndex(unsigned Index) const;
+
+  std::array<unsigned, 3> ClassBase = {0, 0, 0};
+  unsigned Universe = 0;
+  std::vector<BitSet> LiveIn;  ///< per block
+  std::vector<BitSet> LiveOut; ///< per block
+};
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_LIVENESS_H

@@ -1,0 +1,153 @@
+//===- analysis/MemDisambig.cpp - Memory disambiguation --------------------===//
+
+#include "analysis/MemDisambig.h"
+
+#include "analysis/CFG.h"
+
+using namespace gis;
+
+MemDisambiguator::MemDisambiguator(const Function &F, const SchedRegion &R)
+    : F(F), R(R) {
+  BlockOf.assign(F.numInstrs(), InvalidId);
+  PosOf.assign(F.numInstrs(), 0);
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    const std::vector<InstrId> &Instrs = F.block(B).instrs();
+    for (unsigned Pos = 0; Pos != Instrs.size(); ++Pos) {
+      BlockOf[Instrs[Pos]] = B;
+      PosOf[Instrs[Pos]] = Pos;
+    }
+  }
+
+  // Single static definitions over the whole function.
+  for (InstrId I = 0; I != F.numInstrs(); ++I) {
+    if (BlockOf[I] == InvalidId)
+      continue; // orphaned instruction (cloned, not yet placed)
+    for (Reg D : F.instr(I).defs()) {
+      auto [It, Inserted] = SingleDef.emplace(D.key(), I);
+      if (!Inserted)
+        It->second = InvalidId; // multiple definitions
+    }
+  }
+
+  // Definition counts inside the region's real blocks.
+  for (const RegionNode &N : R.nodes()) {
+    if (!N.isBlock())
+      continue;
+    for (InstrId I : F.block(N.Block).instrs())
+      for (Reg D : F.instr(I).defs())
+        ++RegionDefs[D.key()];
+  }
+}
+
+const DomTree &MemDisambiguator::funcDom() const {
+  if (!FuncDom)
+    FuncDom = std::make_unique<DomTree>(buildCFG(F));
+  return *FuncDom;
+}
+
+bool MemDisambiguator::defDominatesUse(InstrId Def, InstrId User) const {
+  BlockId DB = BlockOf[Def], UB = BlockOf[User];
+  if (DB == InvalidId || UB == InvalidId)
+    return false;
+  if (DB == UB)
+    return PosOf[Def] < PosOf[User];
+  return funcDom().dominates(DB, UB);
+}
+
+std::optional<MemDisambiguator::Address>
+MemDisambiguator::resolveReg(Reg Base, InstrId User, unsigned Depth) const {
+  if (Depth > 16)
+    return std::nullopt; // defensive cap on chain length
+
+  auto It = SingleDef.find(Base.key());
+  if (It == SingleDef.end()) {
+    // Never defined in the function (an incoming parameter register): a
+    // stable symbolic root.
+    Address A;
+    A.RootReg = Base;
+    return A;
+  }
+  InstrId DefId = It->second;
+  if (DefId == InvalidId)
+    return std::nullopt; // multiple definitions: not a stable value
+  if (!defDominatesUse(DefId, User))
+    return std::nullopt;
+
+  const Instruction &Def = F.instr(DefId);
+  switch (Def.opcode()) {
+  case Opcode::LI: {
+    Address A;
+    A.IsConst = true;
+    A.Offset = Def.imm();
+    return A;
+  }
+  case Opcode::AI: {
+    auto Inner = resolveReg(Def.uses()[0], DefId, Depth + 1);
+    if (!Inner)
+      return std::nullopt;
+    Inner->Offset += Def.imm();
+    return Inner;
+  }
+  case Opcode::LR:
+    return resolveReg(Def.uses()[0], DefId, Depth + 1);
+  default: {
+    // Defined once by an opaque instruction: stable symbolic root.
+    Address A;
+    A.RootReg = Base;
+    return A;
+  }
+  }
+}
+
+std::optional<MemDisambiguator::Address>
+MemDisambiguator::resolveAddress(InstrId Access) const {
+  const Instruction &I = F.instr(Access);
+  if (!I.touchesMemory() || I.isCall())
+    return std::nullopt;
+  auto A = resolveReg(I.memBase(), Access, 0);
+  if (!A)
+    return std::nullopt;
+  A->Offset += I.imm();
+  return A;
+}
+
+bool MemDisambiguator::provablyDisjoint(InstrId A, InstrId B) const {
+  const Instruction &IA = F.instr(A);
+  const Instruction &IB = F.instr(B);
+  if (IA.isCall() || IB.isCall())
+    return false;
+  if (!IA.touchesMemory() || !IB.touchesMemory())
+    return true; // nothing to conflict on
+
+  // Rule 1: fully resolved addresses with a common root.
+  auto AddrA = resolveAddress(A);
+  auto AddrB = resolveAddress(B);
+  if (AddrA && AddrB) {
+    bool SameRoot = AddrA->IsConst == AddrB->IsConst &&
+                    (AddrA->IsConst || AddrA->RootReg == AddrB->RootReg);
+    if (SameRoot && AddrA->Offset != AddrB->Offset)
+      return true;
+  }
+
+  // Rule 2: same base register with provably unchanged value.
+  Reg BaseA = IA.memBase(), BaseB = IB.memBase();
+  if (BaseA != BaseB || IA.imm() == IB.imm())
+    return false;
+
+  auto It = RegionDefs.find(BaseA.key());
+  unsigned DefsInRegion = It == RegionDefs.end() ? 0 : It->second;
+  if (DefsInRegion == 0)
+    return true; // base is region-invariant
+
+  // Same block, no intervening redefinition of the base (positional scan).
+  BlockId BA = BlockOf[A], BB = BlockOf[B];
+  if (BA == InvalidId || BA != BB)
+    return false;
+  unsigned Lo = std::min(PosOf[A], PosOf[B]);
+  unsigned Hi = std::max(PosOf[A], PosOf[B]);
+  const std::vector<InstrId> &Instrs = F.block(BA).instrs();
+  for (unsigned Pos = Lo; Pos != Hi; ++Pos)
+    if (F.instr(Instrs[Pos]).definesReg(BaseA))
+      return false;
+  return true;
+}

@@ -1,0 +1,88 @@
+//===- analysis/MemDisambig.h - Memory disambiguation -----------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory disambiguation for data-dependence construction (paper Section
+/// 4.2: two memory-touching instructions depend on each other unless "it is
+/// proven that they address different locations").  The prover is
+/// deliberately simple and sound:
+///
+///  - addresses are resolved to (root, offset) descriptors by following
+///    chains of single-definition LI / AI / LR instructions whose
+///    definitions dominate both accesses;
+///  - two accesses with the same root and different offsets are disjoint;
+///  - two accesses off the *same base register* are disjoint when their
+///    displacements differ and the base provably holds the same value at
+///    both accesses (no definition of the base in the region, or both
+///    accesses in one block with no intervening redefinition).
+///
+/// Anything unresolved is treated as aliasing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_MEMDISAMBIG_H
+#define GIS_ANALYSIS_MEMDISAMBIG_H
+
+#include "analysis/Dominators.h"
+#include "analysis/Region.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+namespace gis {
+
+/// Proves non-aliasing between memory instructions of one region.
+class MemDisambiguator {
+public:
+  /// \p F must have up-to-date CFG edges.  The region scopes the
+  /// "no definition of the base register" reasoning.
+  MemDisambiguator(const Function &F, const SchedRegion &R);
+
+  /// True if memory instructions \p A and \p B provably access different
+  /// locations.  Either instruction may be a load or store; calls are
+  /// never disjoint from anything.
+  bool provablyDisjoint(InstrId A, InstrId B) const;
+
+private:
+  /// A resolved address: offset relative to a root.  Root is either a
+  /// constant (IsConst) or the stable value of a register (RootReg).
+  struct Address {
+    bool IsConst = false;
+    Reg RootReg;
+    int64_t Offset = 0;
+  };
+
+  std::optional<Address> resolveAddress(InstrId Access) const;
+  std::optional<Address> resolveReg(Reg R, InstrId User, unsigned Depth) const;
+
+  /// True if \p Def (the single definition of some register) dominates the
+  /// use site \p User.
+  bool defDominatesUse(InstrId Def, InstrId User) const;
+
+  /// The function-wide dominator tree, built on the first cross-block
+  /// query (same-block queries, the common case, use positions only).
+  const DomTree &funcDom() const;
+
+  const Function &F;
+  const SchedRegion &R;
+  mutable std::unique_ptr<DomTree> FuncDom;
+  /// Single static definition of each register, or InvalidId when the
+  /// register has zero or multiple definitions.
+  std::unordered_map<uint32_t, InstrId> SingleDef;
+  /// Number of definitions of each register inside the region's real
+  /// blocks.
+  std::unordered_map<uint32_t, unsigned> RegionDefs;
+  /// Owning block and position of every instruction.
+  std::vector<BlockId> BlockOf;
+  std::vector<unsigned> PosOf;
+};
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_MEMDISAMBIG_H

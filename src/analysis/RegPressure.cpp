@@ -1,0 +1,46 @@
+//===- analysis/RegPressure.cpp - Register pressure analysis ---------------===//
+
+#include "analysis/RegPressure.h"
+
+#include "analysis/Liveness.h"
+
+#include <set>
+
+using namespace gis;
+
+RegPressure gis::computeRegPressure(const Function &F) {
+  RegPressure P;
+  Liveness LV = Liveness::compute(F);
+
+  for (BlockId B : F.layout()) {
+    // Live set at the block bottom, then sweep instructions backward.
+    std::set<Reg> Live;
+    for (Reg R : LV.liveOutRegs(B))
+      Live.insert(R);
+
+    auto Record = [&]() {
+      std::array<unsigned, 3> Count = {0, 0, 0};
+      for (Reg R : Live)
+        ++Count[static_cast<unsigned>(R.regClass())];
+      for (unsigned C = 0; C != 3; ++C) {
+        if (Count[C] > P.MaxLive[C]) {
+          P.MaxLive[C] = Count[C];
+          if (C == 0)
+            P.PeakBlock = B;
+        }
+      }
+    };
+
+    Record();
+    const std::vector<InstrId> &Instrs = F.block(B).instrs();
+    for (size_t K = Instrs.size(); K-- > 0;) {
+      const Instruction &I = F.instr(Instrs[K]);
+      for (Reg D : I.defs())
+        Live.erase(D);
+      for (Reg U : I.uses())
+        Live.insert(U);
+      Record();
+    }
+  }
+  return P;
+}

@@ -1,0 +1,46 @@
+//===- analysis/RegPressure.h - Register pressure analysis -----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register pressure measurement.  The paper schedules before register
+/// allocation over unbounded symbolic registers (Section 2) and points to
+/// [BEH89] for the scheduling/allocation interplay; this analysis measures
+/// the consequence: the maximum number of simultaneously live registers,
+/// per class, anywhere in a function.  The scheduler's report machinery
+/// uses it so code motion's pressure cost is observable (speculation and
+/// renaming both lengthen live ranges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_REGPRESSURE_H
+#define GIS_ANALYSIS_REGPRESSURE_H
+
+#include "ir/Function.h"
+
+#include <array>
+
+namespace gis {
+
+/// Peak register pressure of one function.
+struct RegPressure {
+  /// Maximum simultaneously live registers per class (GPR, FPR, CR).
+  std::array<unsigned, 3> MaxLive = {0, 0, 0};
+  /// Block where the GPR peak occurs (for diagnostics).
+  BlockId PeakBlock = InvalidId;
+
+  unsigned maxLive(RegClass Class) const {
+    return MaxLive[static_cast<unsigned>(Class)];
+  }
+};
+
+/// Computes peak pressure by walking every block backward from its
+/// live-out set (the standard linear-scan style sweep).
+RegPressure computeRegPressure(const Function &F);
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_REGPRESSURE_H

@@ -1,0 +1,101 @@
+//===- analysis/Region.h - Scheduling regions -------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's scheduling regions (Section 5.1): a region is either the
+/// body of a loop or the body of the function without enclosed loops.
+/// Inner loops are collapsed to opaque "summary" nodes: instructions never
+/// move out of or into a region, and the back edges to the region's header
+/// are removed, so the region graph is acyclic (the forward CFG on which
+/// the forward control dependence graph is built).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ANALYSIS_REGION_H
+#define GIS_ANALYSIS_REGION_H
+
+#include "analysis/Graph.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+
+namespace gis {
+
+/// A node of a region graph: a real basic block or a collapsed inner loop.
+struct RegionNode {
+  BlockId Block = InvalidId; ///< valid when this is a real block
+  int LoopIndex = -1;        ///< valid when this is a loop summary
+  /// For summaries: the collapsed loop's aggregate register defs/uses
+  /// (sorted, unique), used by DataDeps to treat the loop as one opaque
+  /// barrier instruction.
+  std::vector<Reg> SummaryDefs;
+  std::vector<Reg> SummaryUses;
+
+  bool isBlock() const { return Block != InvalidId; }
+  bool isLoopSummary() const { return LoopIndex >= 0; }
+};
+
+/// One scheduling region.
+class SchedRegion {
+public:
+  /// Builds the region for loop \p LoopIndex of \p LI, or, when
+  /// \p LoopIndex is -1, the top-level region (the function body with all
+  /// outermost loops collapsed).
+  static SchedRegion build(const Function &F, const LoopInfo &LI,
+                           int LoopIndex);
+
+  /// A degenerate region holding a single basic block, used by the local
+  /// scheduler on functions whose control flow is irreducible (regions
+  /// proper require reducibility).
+  static SchedRegion buildSingleBlock(const Function &F, BlockId B);
+
+  /// The loop this region represents (-1 for the top-level region).
+  int loopIndex() const { return LoopIdx; }
+
+  const std::vector<RegionNode> &nodes() const { return Nodes; }
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  const RegionNode &node(unsigned N) const { return Nodes[N]; }
+
+  /// The acyclic forward graph over region nodes (back edges to the entry
+  /// removed, inner loops collapsed).
+  const DiGraph &forwardGraph() const { return Forward; }
+
+  unsigned entryNode() const { return Entry; }
+
+  /// Region node owning \p B directly (not through a summary), or -1.
+  int nodeOfBlock(BlockId B) const {
+    return B < BlockToNode.size() ? BlockToNode[B] : -1;
+  }
+
+  /// Nodes with CFG edges that leave the region (loop exits); these are
+  /// attached to the virtual exit when computing postdominators.
+  const std::vector<unsigned> &exitNodes() const { return Exits; }
+
+  /// Topological order of the forward graph (entry first).
+  const std::vector<unsigned> &topoOrder() const { return Topo; }
+
+  /// Number of real basic blocks in the region (the paper's 64-block cap).
+  unsigned numRealBlocks() const { return RealBlocks; }
+
+  /// Number of instructions in the region's real blocks (the paper's
+  /// 256-instruction cap).
+  unsigned numInstrs() const { return NumInstrs; }
+
+private:
+  int LoopIdx = -1;
+  std::vector<RegionNode> Nodes;
+  DiGraph Forward;
+  unsigned Entry = 0;
+  std::vector<int> BlockToNode;
+  std::vector<unsigned> Exits;
+  std::vector<unsigned> Topo;
+  unsigned RealBlocks = 0;
+  unsigned NumInstrs = 0;
+};
+
+} // namespace gis
+
+#endif // GIS_ANALYSIS_REGION_H

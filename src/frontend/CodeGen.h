@@ -1,0 +1,51 @@
+//===- frontend/CodeGen.h - Mini-C to IR code generation --------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the mini-C AST to the RS/6000-style pseudo-IR, playing the role
+/// of the XL compiler's front/middle-end in the paper's tool chain:
+/// scalars live in symbolic registers (the unbounded pre-register-
+/// allocation register file of Section 2), arrays in statically allocated
+/// memory, conditions compile to compare + BT/BF pairs, and booleans
+/// short-circuit — producing exactly the small-basic-block control flow
+/// the global scheduler is designed for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_FRONTEND_CODEGEN_H
+#define GIS_FRONTEND_CODEGEN_H
+
+#include "frontend/Ast.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace gis {
+
+/// Result of compiling mini-C source.
+struct CompileResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  int Line = 0;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Lowers a parsed program to IR.
+CompileResult generateIR(const Program &Prog);
+
+/// One-call facade: parse + lower.
+CompileResult compileMiniC(std::string_view Source);
+
+/// Compiles source expected to be valid; aborts with diagnostics
+/// otherwise.  Convenience for tests, examples and benchmarks.
+std::unique_ptr<Module> compileMiniCOrDie(std::string_view Source);
+
+} // namespace gis
+
+#endif // GIS_FRONTEND_CODEGEN_H

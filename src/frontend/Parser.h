@@ -1,0 +1,54 @@
+//===- frontend/Parser.h - Mini-C parser ------------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for mini-C.
+///
+/// Grammar sketch:
+/// \code
+///   program  := (globalArray | function)*
+///   global   := "int" NAME "[" NUM "]" ";"
+///   function := "int" NAME "(" ("int" NAME ("," "int" NAME)*)? ")" block
+///   stmt     := "int" NAME ("=" expr)? ";" | "int" NAME "[" NUM "]" ";"
+///             | NAME "=" expr ";" | NAME "[" expr "]" "=" expr ";"
+///             | "if" "(" expr ")" stmt ("else" stmt)?
+///             | "while" "(" expr ")" stmt
+///             | "for" "(" simple? ";" expr? ";" simple? ")" stmt
+///             | "return" expr? ";" | "break" ";" | "continue" ";"
+///             | expr ";" | block
+///   expr     := logical-or with C precedence over
+///               || && == != < > <= >= + - * / % and unary - !
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_FRONTEND_PARSER_H
+#define GIS_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace gis {
+
+/// Result of parsing mini-C source.
+struct MiniCParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+  int Line = 0;
+
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Parses mini-C source into an AST.
+MiniCParseResult parseMiniC(std::string_view Source);
+
+} // namespace gis
+
+#endif // GIS_FRONTEND_PARSER_H

@@ -1,0 +1,144 @@
+//===- interp/Interpreter.h - Executable IR semantics -----------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the pseudo-IR.  It serves two purposes:
+///
+///  1. Correctness oracle: scheduling transformations must preserve the
+///     observable behaviour (printed values, return value, final memory) of
+///     every program; property tests execute original and scheduled programs
+///     and compare.
+///
+///  2. Trace source: the interpreter records the dynamic instruction trace
+///     that the machine timing simulator (machine/Timing.h) consumes to
+///     produce cycle counts, substituting for the paper's RS/6000 hardware.
+///
+/// Calls between module functions are supported with per-invocation
+/// register frames (arguments arrive in the callee's declared parameter
+/// registers); host builtins can be registered by name, and the "print"
+/// builtin is always available.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_INTERP_INTERPRETER_H
+#define GIS_INTERP_INTERPRETER_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gis {
+
+/// One dynamically executed instruction (function + instruction id); the
+/// function pointer disambiguates per-function instruction ids in
+/// cross-function traces.
+struct TraceEntry {
+  const Function *Fn;
+  InstrId Instr;
+};
+
+/// Outcome of one interpreter run.
+struct ExecResult {
+  bool Trapped = false;       ///< division by zero, step overflow, ...
+  std::string TrapReason;
+  uint64_t InstrCount = 0;    ///< dynamically executed instructions
+  bool HasReturnValue = false;
+  int64_t ReturnValue = 0;
+  std::vector<int64_t> Printed; ///< values passed to the print builtin
+};
+
+/// Reference interpreter over one Module.
+class Interpreter {
+public:
+  using Builtin = std::function<int64_t(const std::vector<int64_t> &Args)>;
+
+  explicit Interpreter(const Module &M) : M(M) {}
+
+  /// Registers a host function callable via CALL.  The "print" builtin is
+  /// always available and records its argument in ExecResult::Printed.
+  /// Module functions take precedence over builtins of the same name.
+  void registerBuiltin(const std::string &Name, Builtin Fn) {
+    Builtins[Name] = std::move(Fn);
+  }
+
+  /// Pre-seeds (or inspects) the *entry frame* register state.
+  void setReg(Reg R, int64_t V) { EntryIntRegs[R.key()] = V; }
+  int64_t reg(Reg R) const {
+    auto It = EntryIntRegs.find(R.key());
+    return It == EntryIntRegs.end() ? 0 : It->second;
+  }
+
+  void setFReg(Reg R, double V) { EntryFpRegs[R.key()] = V; }
+  double freg(Reg R) const {
+    auto It = EntryFpRegs.find(R.key());
+    return It == EntryFpRegs.end() ? 0.0 : It->second;
+  }
+
+  void storeWord(int64_t Addr, int64_t V) { Memory[Addr] = V; }
+  int64_t loadWord(int64_t Addr) const {
+    auto It = Memory.find(Addr);
+    return It == Memory.end() ? 0 : It->second;
+  }
+
+  const std::unordered_map<int64_t, int64_t> &memory() const { return Memory; }
+
+  /// Turns on dynamic trace recording.
+  void enableTrace(bool On) { TraceEnabled = On; }
+  const std::vector<TraceEntry> &trace() const { return Trace; }
+
+  /// Per-block dynamic execution counts of the entry function, last run.
+  const std::vector<uint64_t> &blockCounts() const { return BlockCounts; }
+
+  /// Executes \p F from its entry block.  Memory and the entry frame
+  /// persist across runs (so callers can pre-seed state); the trace and
+  /// block counts are reset per run.
+  ExecResult run(const Function &F, uint64_t MaxSteps = 10'000'000);
+
+private:
+  using IntFrame = std::unordered_map<uint32_t, int64_t>;
+  using FpFrame = std::unordered_map<uint32_t, double>;
+
+  /// Executes one function in the given frame; returns through Result.
+  /// Returns the function's return value when it has one.
+  void execFrame(const Function &F, IntFrame &IntRegs, FpFrame &FpRegs,
+                 uint64_t MaxSteps, unsigned Depth, ExecResult &Result);
+
+  const Module &M;
+  IntFrame EntryIntRegs; ///< GPR and CR of the entry frame, by Reg::key
+  FpFrame EntryFpRegs;
+  std::unordered_map<int64_t, int64_t> Memory;
+  std::unordered_map<std::string, Builtin> Builtins;
+  bool TraceEnabled = false;
+  std::vector<TraceEntry> Trace;
+  std::vector<uint64_t> BlockCounts;
+  const Function *EntryFn = nullptr;
+
+  static constexpr unsigned MaxCallDepth = 64;
+};
+
+/// Condition-register encoding shared by the interpreter and tests.
+enum CRBits : int64_t {
+  CRLt = 1,
+  CRGt = 2,
+  CREq = 4,
+};
+
+/// Compare encoding: returns the CR bits for a <=> b.
+inline int64_t crCompare(int64_t A, int64_t B) {
+  if (A < B)
+    return CRLt;
+  if (A > B)
+    return CRGt;
+  return CREq;
+}
+
+} // namespace gis
+
+#endif // GIS_INTERP_INTERPRETER_H

@@ -1,0 +1,64 @@
+//===- ir/BasicBlock.h - Basic block ----------------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: an ordered list of InstrIds plus cached CFG edges.  Edge
+/// lists are derived from terminators and layout by Function::recomputeCFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_BASICBLOCK_H
+#define GIS_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// A basic block.  Owns the ordered list of instruction ids; the
+/// instructions themselves live in the Function's pool.
+class BasicBlock {
+public:
+  BasicBlock() = default;
+  BasicBlock(BlockId Id, std::string Label)
+      : Id(Id), Label(std::move(Label)) {}
+
+  BlockId id() const { return Id; }
+  const std::string &label() const { return Label; }
+  void setLabel(std::string L) { Label = std::move(L); }
+
+  std::vector<InstrId> &instrs() { return InstrList; }
+  const std::vector<InstrId> &instrs() const { return InstrList; }
+
+  bool empty() const { return InstrList.empty(); }
+  size_t size() const { return InstrList.size(); }
+
+  /// CFG successors/predecessors; valid after Function::recomputeCFG.
+  const std::vector<BlockId> &succs() const { return Successors; }
+  const std::vector<BlockId> &preds() const { return Predecessors; }
+
+  // CFG maintenance, used by Function only.
+  void clearEdges() {
+    Successors.clear();
+    Predecessors.clear();
+  }
+  void addSucc(BlockId B) { Successors.push_back(B); }
+  void addPred(BlockId B) { Predecessors.push_back(B); }
+
+private:
+  BlockId Id = InvalidId;
+  std::string Label;
+  std::vector<InstrId> InstrList;
+  std::vector<BlockId> Successors;
+  std::vector<BlockId> Predecessors;
+};
+
+} // namespace gis
+
+#endif // GIS_IR_BASICBLOCK_H

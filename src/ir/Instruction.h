@@ -1,0 +1,133 @@
+//===- ir/Instruction.h - IR instruction ------------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single pseudo-IR instruction.  Instructions live in a per-function pool
+/// and are referenced by dense InstrIds, so the scheduler can move them
+/// between basic blocks by editing block instruction lists without
+/// invalidating references held by analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_INSTRUCTION_H
+#define GIS_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Register.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// Dense index of an instruction within its Function's pool.
+using InstrId = uint32_t;
+/// Dense index of a basic block within its Function.
+using BlockId = uint32_t;
+
+/// Sentinel for "no instruction" / "no block".
+constexpr uint32_t InvalidId = ~uint32_t(0);
+
+/// One pseudo-IR instruction.
+///
+/// Operand conventions:
+///  - Loads (L/LU/LF):   Defs = [dest (, base for LU)], Uses = [base],
+///                       Imm = displacement.
+///  - Stores (ST/STU/STF): Uses = [value, base], Defs = [base for STU],
+///                       Imm = displacement.
+///  - Compares (C/FC):   Defs = [cr], Uses = [a, b];  CI: Uses = [a], Imm.
+///  - BT/BF:             Uses = [cr], Cond = tested bit, Target = block.
+///  - CALL:              Callee = name, Uses = argument registers,
+///                       Defs = optional result register.
+///  - RET:               Uses = optional value register.
+class Instruction {
+public:
+  Instruction() = default;
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  Opcode opcode() const { return Op; }
+  void setOpcode(Opcode NewOp) { Op = NewOp; }
+
+  const OpcodeInfo &info() const { return opcodeInfo(Op); }
+  OpClass opClass() const { return info().Class; }
+  bool isBranch() const { return info().IsBranch; }
+  bool isTerminator() const { return info().IsTerminator; }
+  bool touchesMemory() const { return info().TouchesMemory; }
+  bool isLoad() const { return info().IsLoad; }
+  bool isStore() const { return info().IsStore; }
+  bool isCall() const { return Op == Opcode::CALL; }
+
+  /// True if the instruction may never be moved beyond its basic block
+  /// (calls, branches, returns); paper Section 5.1.
+  bool neverCrossesBlock() const { return info().NeverCrossBlock; }
+
+  /// True if the instruction may never be scheduled speculatively (stores,
+  /// trapping divides, calls, branches); paper Section 5.1.
+  bool neverSpeculates() const { return info().NeverSpeculate; }
+
+  std::vector<Reg> &defs() { return DefRegs; }
+  const std::vector<Reg> &defs() const { return DefRegs; }
+  std::vector<Reg> &uses() { return UseRegs; }
+  const std::vector<Reg> &uses() const { return UseRegs; }
+
+  int64_t imm() const { return Immediate; }
+  void setImm(int64_t V) { Immediate = V; }
+
+  CondBit cond() const { return Cond; }
+  void setCond(CondBit C) { Cond = C; }
+
+  BlockId target() const { return Target; }
+  void setTarget(BlockId B) { Target = B; }
+
+  const std::string &callee() const { return Callee; }
+  void setCallee(std::string Name) { Callee = std::move(Name); }
+
+  const std::string &comment() const { return Comment; }
+  void setComment(std::string C) { Comment = std::move(C); }
+
+  /// The base register of a memory access (the last use operand).
+  Reg memBase() const {
+    GIS_ASSERT(touchesMemory() && !isCall() && !UseRegs.empty(),
+               "memBase on a non-memory instruction");
+    return UseRegs.back();
+  }
+
+  /// Original program order, assigned by Function::renumberOriginalOrder.
+  /// Used as the final tie-break in the scheduling priority (rule 7).
+  uint32_t originalOrder() const { return OrigOrder; }
+  void setOriginalOrder(uint32_t N) { OrigOrder = N; }
+
+  bool definesReg(Reg R) const {
+    for (Reg D : DefRegs)
+      if (D == R)
+        return true;
+    return false;
+  }
+
+  bool usesReg(Reg R) const {
+    for (Reg U : UseRegs)
+      if (U == R)
+        return true;
+    return false;
+  }
+
+private:
+  Opcode Op = Opcode::NOP;
+  std::vector<Reg> DefRegs;
+  std::vector<Reg> UseRegs;
+  int64_t Immediate = 0;
+  CondBit Cond = CondBit::LT;
+  BlockId Target = InvalidId;
+  std::string Callee;
+  std::string Comment;
+  uint32_t OrigOrder = 0;
+};
+
+} // namespace gis
+
+#endif // GIS_IR_INSTRUCTION_H

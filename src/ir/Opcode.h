@@ -1,0 +1,127 @@
+//===- ir/Opcode.h - RS/6000-style pseudo-instruction opcodes --*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes of the GIS pseudo-IR.  The instruction set mirrors the RS/6000
+/// pseudo-code used throughout the paper: a load/store RISC with fixed-point,
+/// floating-point and branch instruction families, compares that write
+/// condition registers, and branches that test single condition bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_OPCODE_H
+#define GIS_IR_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace gis {
+
+/// Instruction opcode.  Names follow the paper's pseudo-code (L, LU, C, BF,
+/// BT, B, LR, AI, ...) extended with the ALU/float operations the mini-C
+/// frontend and the synthetic workloads need.
+enum class Opcode : uint8_t {
+  // Fixed-point ALU.
+  LI,   ///< rd = imm
+  LR,   ///< rd = rs (register move; the paper's LR)
+  AI,   ///< rd = rs + imm
+  A,    ///< rd = ra + rb
+  S,    ///< rd = ra - rb
+  MUL,  ///< rd = ra * rb (multi-cycle)
+  DIV,  ///< rd = ra / rb (multi-cycle; traps on zero divisor)
+  REM,  ///< rd = ra % rb (multi-cycle; traps on zero divisor)
+  AND,  ///< rd = ra & rb
+  OR,   ///< rd = ra | rb
+  XOR,  ///< rd = ra ^ rb
+  SL,   ///< rd = ra << (imm & 63)
+  SR,   ///< rd = ra >> (imm & 63), arithmetic
+  NEG,  ///< rd = -ra
+
+  // Memory access (fixed point).
+  L,    ///< rd = mem[rb + imm]
+  LU,   ///< rd = mem[rb + imm]; rb = rb + imm   (load with update)
+  ST,   ///< mem[rb + imm] = rs
+  STU,  ///< mem[rb + imm] = rs; rb = rb + imm   (store with update)
+
+  // Floating point.
+  LF,   ///< fd = mem[rb + imm]
+  STF,  ///< mem[rb + imm] = fs
+  FA,   ///< fd = fa + fb
+  FS,   ///< fd = fa - fb
+  FM,   ///< fd = fa * fb
+  FD,   ///< fd = fa / fb
+  FMA,  ///< fd = fa * fb + fc (fused multiply-add)
+
+  // Compares (write a condition register).
+  C,    ///< crd = compare(ra, rb)         (fixed point)
+  CI,   ///< crd = compare(ra, imm)        (fixed point immediate)
+  FC,   ///< crd = compare(fa, fb)         (floating point)
+
+  // Branches and control.
+  B,    ///< unconditional branch to target
+  BT,   ///< branch to target if cond bit of crs is true
+  BF,   ///< branch to target if cond bit of crs is false
+  CALL, ///< call a named subroutine (memory barrier; never moved)
+  RET,  ///< return from the function (optionally carrying a value register)
+  NOP,  ///< no operation
+};
+
+/// Number of opcodes, for dense tables.
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::NOP) + 1;
+
+/// Condition bit tested by BT/BF, matching the paper's 0x1/lt, 0x2/gt
+/// annotations plus equality.
+enum class CondBit : uint8_t { LT, GT, EQ };
+
+/// Coarse classification used by the parametric machine description to
+/// assign unit types and dependence delays (paper Section 2).
+enum class OpClass : uint8_t {
+  FixedArith, ///< single/multi-cycle fixed-point computation
+  Load,       ///< fixed-point load (delayed load)
+  Store,      ///< fixed-point store
+  FloatArith, ///< floating-point computation
+  FloatLoad,  ///< floating-point load
+  FloatStore, ///< floating-point store
+  FixCompare, ///< fixed-point compare (3-cycle delay to its branch)
+  FpCompare,  ///< floating-point compare (5-cycle delay to its branch)
+  Branch,     ///< branch-unit instruction
+  Call,       ///< subroutine call (scheduling barrier)
+  Other,      ///< NOP and friends
+};
+
+/// Static properties of an opcode.
+struct OpcodeInfo {
+  std::string_view Name;
+  OpClass Class;
+  bool IsBranch;          ///< B / BT / BF (has a CFG target)
+  bool IsTerminator;      ///< ends a basic block (branches and RET)
+  bool TouchesMemory;     ///< loads, stores and calls
+  bool IsLoad;
+  bool IsStore;
+  bool NeverCrossBlock;   ///< never moved beyond its block (calls, branches)
+  bool NeverSpeculate;    ///< never scheduled speculatively (stores, calls)
+};
+
+/// Returns the static property record for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the textual mnemonic for \p Op.
+std::string_view opcodeName(Opcode Op);
+
+/// Parses a mnemonic; returns std::nullopt for unknown names.
+std::optional<Opcode> parseOpcode(std::string_view Name);
+
+/// Returns the textual name of a condition bit ("lt", "gt", "eq").
+std::string_view condBitName(CondBit Bit);
+
+/// Parses a condition bit name.
+std::optional<CondBit> parseCondBit(std::string_view Name);
+
+} // namespace gis
+
+#endif // GIS_IR_OPCODE_H

@@ -1,0 +1,537 @@
+//===- ir/Parser.cpp - Textual IR parsing ---------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Verifier.h"
+#include "support/Assert.h"
+#include "support/Format.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+using namespace gis;
+
+namespace {
+
+/// Simple cursor over one instruction line.
+class LineCursor {
+public:
+  explicit LineCursor(std::string_view Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view Word) {
+    skipSpace();
+    if (Text.substr(Pos, Word.size()) == Word) {
+      size_t After = Pos + Word.size();
+      if (After == Text.size() ||
+          !std::isalnum(static_cast<unsigned char>(Text[After]))) {
+        Pos = After;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Identifier: [A-Za-z_.][A-Za-z0-9_.]*
+  std::optional<std::string> ident() {
+    skipSpace();
+    size_t Start = Pos;
+    auto IsIdentChar = [](char C) {
+      return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+             C == '.';
+    };
+    while (Pos < Text.size() && IsIdentChar(Text[Pos]))
+      ++Pos;
+    if (Pos == Start)
+      return std::nullopt;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  std::optional<int64_t> integer() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      Pos = Start;
+      return std::nullopt;
+    }
+    return std::stoll(std::string(Text.substr(Start, Pos - Start)));
+  }
+
+  std::string rest() {
+    skipSpace();
+    return std::string(Text.substr(Pos));
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+std::optional<Reg> parseReg(const std::string &Name) {
+  auto Num = [](std::string_view S) -> std::optional<uint32_t> {
+    if (S.empty())
+      return std::nullopt;
+    uint32_t V = 0;
+    for (char C : S) {
+      if (!std::isdigit(static_cast<unsigned char>(C)))
+        return std::nullopt;
+      V = V * 10 + static_cast<uint32_t>(C - '0');
+    }
+    return V;
+  };
+  std::string_view S(Name);
+  if (startsWith(S, "cr")) {
+    if (auto N = Num(S.substr(2)))
+      return Reg::cr(*N);
+    return std::nullopt;
+  }
+  if (S.size() >= 2 && S[0] == 'r') {
+    if (auto N = Num(S.substr(1)))
+      return Reg::gpr(*N);
+    return std::nullopt;
+  }
+  if (S.size() >= 2 && S[0] == 'f') {
+    if (auto N = Num(S.substr(1)))
+      return Reg::fpr(*N);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Parser over the whole module text.
+class ModuleParser {
+public:
+  explicit ModuleParser(std::string_view Text) : Text(Text) {}
+
+  ParseResult run() {
+    auto M = std::make_unique<Module>();
+    std::vector<std::string_view> Lines = split(Text, '\n', true);
+
+    Function *CurFunc = nullptr;
+    // Per-function label bookkeeping for forward branch references.
+    std::map<std::string, BlockId> Labels;
+    struct PendingBranch {
+      InstrId Instr;
+      std::string Label;
+      int Line;
+    };
+    std::vector<PendingBranch> Pending;
+    BlockId CurBlock = InvalidId;
+
+    auto FinishFunction = [&]() -> bool {
+      for (const PendingBranch &P : Pending) {
+        auto It = Labels.find(P.Label);
+        if (It == Labels.end()) {
+          Err = "unknown branch target '" + P.Label + "'";
+          ErrLine = P.Line;
+          return false;
+        }
+        CurFunc->instr(P.Instr).setTarget(It->second);
+      }
+      Pending.clear();
+      Labels.clear();
+      CurFunc->recomputeCFG();
+      CurFunc->renumberOriginalOrder();
+      CurFunc = nullptr;
+      CurBlock = InvalidId;
+      return true;
+    };
+
+    for (size_t LineNo = 0; LineNo != Lines.size(); ++LineNo) {
+      CurLine = static_cast<int>(LineNo) + 1;
+      std::string_view Raw = Lines[LineNo];
+      // Strip comment.
+      std::string Comment;
+      if (size_t Semi = Raw.find(';'); Semi != std::string_view::npos) {
+        Comment = std::string(trim(Raw.substr(Semi + 1)));
+        Raw = Raw.substr(0, Semi);
+      }
+      std::string_view Line = trim(Raw);
+      if (Line.empty())
+        continue;
+
+      if (startsWith(Line, "global ")) {
+        if (CurFunc)
+          return fail("'global' inside a function");
+        LineCursor C(Line.substr(7));
+        auto Name = C.ident();
+        if (!Name || !C.consume('['))
+          return fail("malformed global declaration");
+        auto Size = C.integer();
+        if (!Size || !C.consume(']'))
+          return fail("malformed global size");
+        M->allocateGlobal(*Name, *Size);
+        continue;
+      }
+
+      if (startsWith(Line, "func ")) {
+        if (CurFunc)
+          return fail("nested 'func'");
+        LineCursor C(Line.substr(5));
+        auto Name = C.ident();
+        if (!Name)
+          return fail("malformed function header (expected 'func NAME {')");
+        CurFunc = &M->createFunction(*Name);
+        // Optional parameter register list: func f(r0, r1) {
+        if (C.consume('(')) {
+          if (!C.consume(')')) {
+            while (true) {
+              auto RegName = C.ident();
+              std::optional<Reg> R;
+              if (RegName)
+                R = parseReg(*RegName);
+              if (!R)
+                return fail("malformed parameter register");
+              CurFunc->addParam(*R);
+              if (C.consume(')'))
+                break;
+              if (!C.consume(','))
+                return fail("expected ',' or ')' in parameter list");
+            }
+          }
+        }
+        if (!C.consume('{'))
+          return fail("malformed function header (expected '{')");
+        continue;
+      }
+
+      if (Line == "}") {
+        if (!CurFunc)
+          return fail("unmatched '}'");
+        if (!FinishFunction())
+          return ParseResult{nullptr, Err, ErrLine};
+        continue;
+      }
+
+      if (!CurFunc)
+        return fail("instruction outside a function");
+
+      // Block label?
+      if (endsWith(Line, ":")) {
+        std::string Label(trim(Line.substr(0, Line.size() - 1)));
+        if (Labels.count(Label))
+          return fail("duplicate block label '" + Label + "'");
+        CurBlock = CurFunc->createBlock(Label);
+        Labels.emplace(Label, CurBlock);
+        continue;
+      }
+
+      if (CurBlock == InvalidId)
+        return fail("instruction before the first block label");
+
+      std::string BranchLabel;
+      InstrId Id;
+      if (!parseInstr(*CurFunc, CurBlock, Line, Comment, BranchLabel, Id)) {
+        if (Err.empty()) {
+          // Punctuation-level failures (a missing '=' or ',') fall through
+          // here without a specific message.
+          Err = "malformed instruction '" + std::string(Line) + "'";
+          ErrLine = CurLine;
+        }
+        return ParseResult{nullptr, Err, ErrLine};
+      }
+      if (!BranchLabel.empty())
+        Pending.push_back(PendingBranch{Id, BranchLabel, CurLine});
+    }
+
+    if (CurFunc)
+      return fail("missing '}' at end of input");
+
+    return ParseResult{std::move(M), "", 0};
+  }
+
+private:
+  ParseResult fail(const std::string &Msg) {
+    return ParseResult{nullptr, Msg, CurLine};
+  }
+
+  bool instrError(const std::string &Msg) {
+    Err = Msg;
+    ErrLine = CurLine;
+    return false;
+  }
+
+  bool expectReg(LineCursor &C, Reg &Out) {
+    auto Name = C.ident();
+    if (!Name)
+      return instrError("expected register");
+    auto R = parseReg(*Name);
+    if (!R)
+      return instrError("malformed register '" + *Name + "'");
+    Out = *R;
+    return true;
+  }
+
+  bool expectInt(LineCursor &C, int64_t &Out) {
+    auto V = C.integer();
+    if (!V)
+      return instrError("expected integer");
+    Out = *V;
+    return true;
+  }
+
+  /// mem[rB + d] — leaves base and displacement in Out parameters.
+  bool expectMemRef(LineCursor &C, Reg &Base, int64_t &Disp) {
+    if (!C.consumeWord("mem") || !C.consume('['))
+      return instrError("expected 'mem['");
+    if (!expectReg(C, Base))
+      return false;
+    Disp = 0;
+    if (C.consume('+')) {
+      if (!expectInt(C, Disp))
+        return false;
+    } else if (C.consume('-')) {
+      if (!expectInt(C, Disp))
+        return false;
+      Disp = -Disp;
+    }
+    if (!C.consume(']'))
+      return instrError("expected ']'");
+    return true;
+  }
+
+  bool parseInstr(Function &F, BlockId B, std::string_view Line,
+                  std::string Comment, std::string &BranchLabel,
+                  InstrId &OutId) {
+    LineCursor C(Line);
+    auto Mnemonic = C.ident();
+    if (!Mnemonic)
+      return instrError("expected instruction mnemonic");
+
+    // Optional paper-style instruction tag: "I7: LR r30 = r12".
+    if (C.consume(':')) {
+      std::string Tag = *Mnemonic;
+      Mnemonic = C.ident();
+      if (!Mnemonic)
+        return instrError("expected mnemonic after tag '" + Tag + ":'");
+      if (Comment.empty())
+        Comment = Tag;
+    }
+
+    auto Op = parseOpcode(*Mnemonic);
+    if (!Op)
+      return instrError("unknown mnemonic '" + *Mnemonic + "'");
+
+    Instruction I(*Op);
+    Reg R1, R2, R3;
+    int64_t Imm = 0;
+
+    switch (*Op) {
+    case Opcode::LI:
+      if (!expectReg(C, R1) || !C.consume('=') || !expectInt(C, Imm))
+        return instrError("malformed LI (LI rD = imm)");
+      I.defs() = {R1};
+      I.setImm(Imm);
+      break;
+    case Opcode::LR:
+    case Opcode::NEG:
+      if (!expectReg(C, R1) || !C.consume('=') || !expectReg(C, R2))
+        return false;
+      I.defs() = {R1};
+      I.uses() = {R2};
+      break;
+    case Opcode::AI:
+    case Opcode::SL:
+    case Opcode::SR:
+    case Opcode::CI:
+      if (!expectReg(C, R1) || !C.consume('=') || !expectReg(C, R2) ||
+          !C.consume(',') || !expectInt(C, Imm))
+        return false;
+      I.defs() = {R1};
+      I.uses() = {R2};
+      I.setImm(Imm);
+      break;
+    case Opcode::A:
+    case Opcode::S:
+    case Opcode::MUL:
+    case Opcode::DIV:
+    case Opcode::REM:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::FA:
+    case Opcode::FS:
+    case Opcode::FM:
+    case Opcode::FD:
+    case Opcode::C:
+    case Opcode::FC:
+      if (!expectReg(C, R1) || !C.consume('=') || !expectReg(C, R2) ||
+          !C.consume(',') || !expectReg(C, R3))
+        return false;
+      I.defs() = {R1};
+      I.uses() = {R2, R3};
+      break;
+    case Opcode::FMA: {
+      Reg R4;
+      if (!expectReg(C, R1) || !C.consume('=') || !expectReg(C, R2) ||
+          !C.consume(',') || !expectReg(C, R3) || !C.consume(',') ||
+          !expectReg(C, R4))
+        return false;
+      I.defs() = {R1};
+      I.uses() = {R2, R3, R4};
+      break;
+    }
+    case Opcode::L:
+    case Opcode::LF:
+      if (!expectReg(C, R1) || !C.consume('='))
+        return false;
+      if (!expectMemRef(C, R2, Imm))
+        return false;
+      I.defs() = {R1};
+      I.uses() = {R2};
+      I.setImm(Imm);
+      break;
+    case Opcode::LU:
+      if (!expectReg(C, R1) || !C.consume(',') || !expectReg(C, R2) ||
+          !C.consume('='))
+        return false;
+      if (!expectMemRef(C, R3, Imm))
+        return false;
+      if (R2 != R3)
+        return instrError("LU must update its base register");
+      I.defs() = {R1, R2};
+      I.uses() = {R3};
+      I.setImm(Imm);
+      break;
+    case Opcode::ST:
+    case Opcode::STF:
+    case Opcode::STU:
+      if (!expectMemRef(C, R1, Imm) || !C.consume('=') || !expectReg(C, R2))
+        return false;
+      I.uses() = {R2, R1};
+      I.setImm(Imm);
+      if (*Op == Opcode::STU)
+        I.defs() = {R1};
+      break;
+    case Opcode::B: {
+      auto Label = C.ident();
+      if (!Label)
+        return instrError("expected branch target label");
+      BranchLabel = *Label;
+      break;
+    }
+    case Opcode::BT:
+    case Opcode::BF: {
+      auto Label = C.ident();
+      if (!Label || !C.consume(',') || !expectReg(C, R1) || !C.consume(','))
+        return instrError("malformed branch (Bx LABEL, crS, cond)");
+      auto CondName = C.ident();
+      if (!CondName)
+        return instrError("expected condition bit");
+      auto Bit = parseCondBit(*CondName);
+      if (!Bit)
+        return instrError("unknown condition bit '" + *CondName + "'");
+      BranchLabel = *Label;
+      I.uses() = {R1};
+      I.setCond(*Bit);
+      break;
+    }
+    case Opcode::CALL: {
+      // CALL name(args) | CALL rD = name(args)
+      auto First = C.ident();
+      if (!First)
+        return instrError("malformed CALL");
+      std::string Name;
+      if (C.consume('=')) {
+        auto Rd = parseReg(*First);
+        if (!Rd)
+          return instrError("malformed CALL result register");
+        I.defs() = {*Rd};
+        auto Callee = C.ident();
+        if (!Callee)
+          return instrError("expected callee name");
+        Name = *Callee;
+      } else {
+        Name = *First;
+      }
+      I.setCallee(Name);
+      if (!C.consume('('))
+        return instrError("expected '(' after callee name");
+      if (!C.consume(')')) {
+        while (true) {
+          Reg Arg;
+          if (!expectReg(C, Arg))
+            return false;
+          I.uses().push_back(Arg);
+          if (C.consume(')'))
+            break;
+          if (!C.consume(','))
+            return instrError("expected ',' or ')' in CALL arguments");
+        }
+      }
+      break;
+    }
+    case Opcode::RET:
+      if (!C.atEnd()) {
+        if (!expectReg(C, R1))
+          return false;
+        I.uses() = {R1};
+      }
+      break;
+    case Opcode::NOP:
+      break;
+    }
+
+    if (!C.atEnd())
+      return instrError("trailing characters: '" + C.rest() + "'");
+
+    I.setComment(std::move(Comment));
+    OutId = F.appendInstr(B, std::move(I));
+    return true;
+  }
+
+  std::string_view Text;
+  int CurLine = 0;
+  std::string Err;
+  int ErrLine = 0;
+};
+
+} // namespace
+
+ParseResult gis::parseModule(std::string_view Text) {
+  return ModuleParser(Text).run();
+}
+
+std::unique_ptr<Module> gis::parseModuleOrDie(std::string_view Text) {
+  ParseResult R = parseModule(Text);
+  if (!R.ok()) {
+    std::fprintf(stderr, "IR parse error at line %d: %s\n", R.Line,
+                 R.Error.c_str());
+    std::abort();
+  }
+  std::vector<std::string> Problems = verifyModule(*R.M);
+  if (!Problems.empty()) {
+    for (const std::string &P : Problems)
+      std::fprintf(stderr, "IR verify error: %s\n", P.c_str());
+    std::abort();
+  }
+  return std::move(R.M);
+}

@@ -1,0 +1,59 @@
+//===- ir/Parser.h - Textual IR parsing -------------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the GIS assembly syntax produced by ir/Printer.h.  Used by tests
+/// and examples to write programs compactly, including a verbatim
+/// transcription of the paper's Figure 2.
+///
+/// Syntax sketch:
+/// \code
+///   global a[100]
+///   func minmax {
+///   BL1:
+///     L r12 = mem[r31 + 4]          ; load u
+///     LU r0, r31 = mem[r31 + 8]
+///     C cr7 = r12, r0
+///     BF BL5, cr7, gt
+///   BL2:
+///     ...
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_PARSER_H
+#define GIS_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace gis {
+
+/// Result of parsing: either a module, or an error with a 1-based line
+/// number.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  int Line = 0;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses a whole module from \p Text.
+ParseResult parseModule(std::string_view Text);
+
+/// Parses a module expected to be well-formed; aborts with the parse error
+/// message otherwise.  Convenience for tests and examples.
+std::unique_ptr<Module> parseModuleOrDie(std::string_view Text);
+
+} // namespace gis
+
+#endif // GIS_IR_PARSER_H

@@ -1,0 +1,175 @@
+//===- ir/Printer.cpp - Textual IR printing -------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Format.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace gis;
+
+namespace {
+
+std::string memRef(const Instruction &I) {
+  Reg Base = I.memBase();
+  int64_t Disp = I.imm();
+  if (Disp >= 0)
+    return formatString("mem[%s + %lld]", Base.str().c_str(),
+                        static_cast<long long>(Disp));
+  return formatString("mem[%s - %lld]", Base.str().c_str(),
+                      static_cast<long long>(-Disp));
+}
+
+std::string regList(const std::vector<Reg> &Regs) {
+  std::string Out;
+  for (size_t I = 0, E = Regs.size(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += Regs[I].str();
+  }
+  return Out;
+}
+
+std::string targetLabel(const Function &F, BlockId Target) {
+  GIS_ASSERT(Target != InvalidId, "branch without target");
+  return F.block(Target).label();
+}
+
+} // namespace
+
+std::string gis::instructionToString(const Function &F, InstrId Id) {
+  const Instruction &I = F.instr(Id);
+  std::string Body;
+  std::string Name(opcodeName(I.opcode()));
+
+  switch (I.opcode()) {
+  case Opcode::LI:
+    Body = formatString("%s %s = %lld", Name.c_str(), I.defs()[0].str().c_str(),
+                        static_cast<long long>(I.imm()));
+    break;
+  case Opcode::LR:
+  case Opcode::NEG:
+    Body = formatString("%s %s = %s", Name.c_str(), I.defs()[0].str().c_str(),
+                        I.uses()[0].str().c_str());
+    break;
+  case Opcode::AI:
+  case Opcode::SL:
+  case Opcode::SR:
+    Body = formatString("%s %s = %s, %lld", Name.c_str(),
+                        I.defs()[0].str().c_str(), I.uses()[0].str().c_str(),
+                        static_cast<long long>(I.imm()));
+    break;
+  case Opcode::A:
+  case Opcode::S:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::REM:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::FA:
+  case Opcode::FS:
+  case Opcode::FM:
+  case Opcode::FD:
+  case Opcode::FMA:
+  case Opcode::C:
+  case Opcode::FC:
+    Body = formatString("%s %s = %s", Name.c_str(), I.defs()[0].str().c_str(),
+                        regList(I.uses()).c_str());
+    break;
+  case Opcode::CI:
+    Body = formatString("%s %s = %s, %lld", Name.c_str(),
+                        I.defs()[0].str().c_str(), I.uses()[0].str().c_str(),
+                        static_cast<long long>(I.imm()));
+    break;
+  case Opcode::L:
+  case Opcode::LF:
+    Body = formatString("%s %s = %s", Name.c_str(), I.defs()[0].str().c_str(),
+                        memRef(I).c_str());
+    break;
+  case Opcode::LU:
+    Body = formatString("%s %s, %s = %s", Name.c_str(),
+                        I.defs()[0].str().c_str(), I.defs()[1].str().c_str(),
+                        memRef(I).c_str());
+    break;
+  case Opcode::ST:
+  case Opcode::STF:
+  case Opcode::STU:
+    Body = formatString("%s %s = %s", Name.c_str(), memRef(I).c_str(),
+                        I.uses()[0].str().c_str());
+    break;
+  case Opcode::B:
+    Body = formatString("%s %s", Name.c_str(),
+                        targetLabel(F, I.target()).c_str());
+    break;
+  case Opcode::BT:
+  case Opcode::BF:
+    Body = formatString("%s %s, %s, %s", Name.c_str(),
+                        targetLabel(F, I.target()).c_str(),
+                        I.uses()[0].str().c_str(),
+                        std::string(condBitName(I.cond())).c_str());
+    break;
+  case Opcode::CALL: {
+    std::string Args = regList(I.uses());
+    if (I.defs().empty())
+      Body = formatString("CALL %s(%s)", I.callee().c_str(), Args.c_str());
+    else
+      Body = formatString("CALL %s = %s(%s)", I.defs()[0].str().c_str(),
+                          I.callee().c_str(), Args.c_str());
+    break;
+  }
+  case Opcode::RET:
+    Body = I.uses().empty()
+               ? std::string("RET")
+               : formatString("RET %s", I.uses()[0].str().c_str());
+    break;
+  case Opcode::NOP:
+    Body = "NOP";
+    break;
+  }
+
+  if (!I.comment().empty())
+    Body = padRight(Body, 36) + "; " + I.comment();
+  return Body;
+}
+
+std::string gis::functionToString(const Function &F) {
+  std::ostringstream OS;
+  printFunction(F, OS);
+  return OS.str();
+}
+
+void gis::printFunction(const Function &F, std::ostream &OS) {
+  OS << "func " << F.name();
+  if (!F.params().empty())
+    OS << "(" << regList(F.params()) << ")";
+  OS << " {\n";
+  for (BlockId B : F.layout()) {
+    const BasicBlock &BB = F.block(B);
+    OS << BB.label() << ":\n";
+    for (InstrId I : BB.instrs())
+      OS << "  " << instructionToString(F, I) << "\n";
+  }
+  OS << "}\n";
+}
+
+std::string gis::moduleToString(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+void gis::printModule(const Module &M, std::ostream &OS) {
+  for (const GlobalArray &G : M.globals())
+    OS << "global " << G.Name << "[" << G.SizeWords << "]\n";
+  if (!M.globals().empty())
+    OS << "\n";
+  bool First = true;
+  for (const auto &F : M.functions()) {
+    if (!First)
+      OS << "\n";
+    First = false;
+    printFunction(*F, OS);
+  }
+}

@@ -1,0 +1,40 @@
+//===- ir/Printer.h - Textual IR printing -----------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules/functions/instructions in the GIS assembly syntax, the
+/// same syntax accepted by ir/Parser.h.  The output visually mirrors the
+/// paper's Figure 2 pseudo-code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_PRINTER_H
+#define GIS_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace gis {
+
+/// Renders one instruction (without trailing newline).
+std::string instructionToString(const Function &F, InstrId Id);
+
+/// Renders a whole function.
+std::string functionToString(const Function &F);
+
+/// Renders a whole module (globals + functions).
+std::string moduleToString(const Module &M);
+
+/// Stream variants.
+void printFunction(const Function &F, std::ostream &OS);
+void printModule(const Module &M, std::ostream &OS);
+
+} // namespace gis
+
+#endif // GIS_IR_PRINTER_H

@@ -1,0 +1,21 @@
+//===- ir/Register.cpp - Register printing --------------------------------===//
+
+#include "ir/Register.h"
+
+#include "support/Format.h"
+
+using namespace gis;
+
+std::string Reg::str() const {
+  if (!isValid())
+    return "<invalid>";
+  switch (regClass()) {
+  case RegClass::GPR:
+    return formatString("r%u", index());
+  case RegClass::FPR:
+    return formatString("f%u", index());
+  case RegClass::CR:
+    return formatString("cr%u", index());
+  }
+  gis_unreachable("invalid register class");
+}

@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR structural verifier -------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for functions and modules: operand
+/// shapes, terminator placement, branch targets, layout consistency.
+/// Every scheduler transformation is verified in tests with this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_VERIFIER_H
+#define GIS_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// Returns a list of human-readable problems; empty means well-formed.
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Verifies every function of \p M.
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience: true if \p F is well-formed.
+inline bool isWellFormed(const Function &F) { return verifyFunction(F).empty(); }
+
+} // namespace gis
+
+#endif // GIS_IR_VERIFIER_H

@@ -1,0 +1,89 @@
+//===- machine/MachineDescription.cpp - Parametric machine model ----------===//
+
+#include "machine/MachineDescription.h"
+
+#include "support/Assert.h"
+#include "support/Format.h"
+
+using namespace gis;
+
+MachineDescription MachineDescription::superscalar(unsigned FixedUnits,
+                                                   unsigned FloatUnits,
+                                                   unsigned BranchUnits) {
+  GIS_ASSERT(FixedUnits >= 1 && FloatUnits >= 1 && BranchUnits >= 1,
+             "a machine needs at least one unit of each type");
+  MachineDescription MD;
+  MD.Name = formatString("superscalar(fx=%u, fp=%u, br=%u)", FixedUnits,
+                         FloatUnits, BranchUnits);
+  MD.Units = {UnitType{"fixed", FixedUnits}, UnitType{"float", FloatUnits},
+              UnitType{"branch", BranchUnits}};
+
+  constexpr unsigned Fixed = 0, Float = 1, Branch = 2;
+  for (unsigned I = 0; I != NumOpcodes; ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    unsigned Unit;
+    switch (opcodeInfo(Op).Class) {
+    case OpClass::FloatArith:
+    case OpClass::FpCompare:
+      Unit = Float;
+      break;
+    case OpClass::Branch:
+      Unit = Branch;
+      break;
+    case OpClass::FloatLoad:
+    case OpClass::FloatStore:
+      // On the RS/6000 float loads/stores go through the fixed-point unit
+      // (it performs the address arithmetic).
+      Unit = Fixed;
+      break;
+    default:
+      Unit = Fixed;
+      break;
+    }
+    MD.UnitOfOpcode[I] = Unit;
+    MD.ExecTimeOfOpcode[I] = 1;
+  }
+
+  // Multi-cycle instructions (paper Section 2.1: "there are also
+  // multi-cycle instructions, like multiplication, division, etc.").
+  MD.setExecTime(Opcode::MUL, 5);
+  MD.setExecTime(Opcode::DIV, 19);
+  MD.setExecTime(Opcode::REM, 19);
+  MD.setExecTime(Opcode::FD, 19);
+
+  // The four delay types of Section 2.1.
+  // 1. Delayed load: one cycle between a load and any user of its result.
+  MD.addDelayRule(DelayRule{OpClass::Load, OpClass::Other,
+                            /*AnyConsumer=*/true, 1});
+  MD.addDelayRule(DelayRule{OpClass::FloatLoad, OpClass::Other,
+                            /*AnyConsumer=*/true, 1});
+  // 2. Three cycles between a fixed-point compare and its branch.
+  MD.addDelayRule(DelayRule{OpClass::FixCompare, OpClass::Branch,
+                            /*AnyConsumer=*/false, 3});
+  // 3. One cycle between a floating-point instruction and its user.
+  MD.addDelayRule(DelayRule{OpClass::FloatArith, OpClass::Other,
+                            /*AnyConsumer=*/true, 1});
+  // 4. Five cycles between a floating-point compare and its branch.
+  MD.addDelayRule(DelayRule{OpClass::FpCompare, OpClass::Branch,
+                            /*AnyConsumer=*/false, 5});
+  return MD;
+}
+
+MachineDescription MachineDescription::rs6k() {
+  MachineDescription MD = superscalar(1, 1, 1);
+  MD.Name = "rs6k";
+  return MD;
+}
+
+unsigned MachineDescription::flowDelay(Opcode Producer,
+                                       Opcode Consumer) const {
+  OpClass PC = opcodeInfo(Producer).Class;
+  OpClass CC = opcodeInfo(Consumer).Class;
+  for (const DelayRule &R : DelayRules) {
+    if (R.Producer != PC)
+      continue;
+    if (R.AnyConsumer || R.Consumer == CC)
+      return R.Cycles;
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+//===- machine/MachineDescription.h - Parametric machine model -*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's parametric machine description (Section 2): a superscalar
+/// machine is a collection of functional units of m types with n_1 ... n_m
+/// units of each type; every instruction executes on one unit of a fixed
+/// type for an integral number of cycles; pipeline constraints are integer
+/// delays attached to flow-dependence edges.
+///
+/// The RS/6000 configuration (Section 2.1) and a family of wider
+/// superscalar configurations (used by the machine-width experiment, E4 in
+/// DESIGN.md) are provided as factories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_MACHINE_MACHINEDESCRIPTION_H
+#define GIS_MACHINE_MACHINEDESCRIPTION_H
+
+#include "ir/Instruction.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// One functional-unit type (e.g. "fixed", "float", "branch").
+struct UnitType {
+  std::string Name;
+  unsigned Count; ///< number of identical units of this type
+};
+
+/// A delay rule: flow dependences from a producer of class \c Producer to a
+/// consumer of class \c Consumer carry \c Cycles extra delay.  A rule with
+/// \c AnyConsumer applies regardless of the consumer class.  First matching
+/// rule wins.
+struct DelayRule {
+  OpClass Producer;
+  OpClass Consumer; ///< ignored when AnyConsumer
+  bool AnyConsumer;
+  unsigned Cycles;
+};
+
+/// Parametric description of a superscalar machine.
+class MachineDescription {
+public:
+  /// The RS/6000 model of paper Section 2.1: one fixed-point, one
+  /// floating-point and one branch unit; delayed loads (1 cycle),
+  /// fixed compare -> branch 3 cycles, float ops 1 cycle,
+  /// float compare -> branch 5 cycles.
+  static MachineDescription rs6k();
+
+  /// An RS/6000-like machine widened to \p FixedUnits fixed-point units,
+  /// \p FloatUnits floating-point units and \p BranchUnits branch units.
+  /// Used for the "bigger payoffs on wider machines" experiment.
+  static MachineDescription superscalar(unsigned FixedUnits,
+                                        unsigned FloatUnits,
+                                        unsigned BranchUnits);
+
+  const std::string &name() const { return Name; }
+
+  unsigned numUnitTypes() const {
+    return static_cast<unsigned>(Units.size());
+  }
+  const UnitType &unitType(unsigned Index) const { return Units[Index]; }
+
+  /// The unit type executing \p Op.
+  unsigned unitTypeForOp(Opcode Op) const {
+    return UnitOfOpcode[static_cast<unsigned>(Op)];
+  }
+
+  /// Execution time of \p Op in cycles (>= 1).
+  unsigned execTime(Opcode Op) const {
+    return ExecTimeOfOpcode[static_cast<unsigned>(Op)];
+  }
+
+  /// Extra delay on a flow dependence from \p Producer to \p Consumer
+  /// (paper Section 2).  Zero when no rule matches.
+  unsigned flowDelay(Opcode Producer, Opcode Consumer) const;
+
+  /// Mutators for building custom configurations (ablation experiments).
+  void setName(std::string N) { Name = std::move(N); }
+  void setExecTime(Opcode Op, unsigned Cycles) {
+    ExecTimeOfOpcode[static_cast<unsigned>(Op)] = Cycles;
+  }
+  void setUnitCount(unsigned TypeIndex, unsigned Count) {
+    Units[TypeIndex].Count = Count;
+  }
+  void addDelayRule(DelayRule Rule) { DelayRules.push_back(Rule); }
+  void clearDelayRules() { DelayRules.clear(); }
+
+  /// Total issue capacity (sum of unit counts); an upper bound on
+  /// instructions started per cycle.
+  unsigned totalUnits() const {
+    unsigned N = 0;
+    for (const UnitType &U : Units)
+      N += U.Count;
+    return N;
+  }
+
+private:
+  MachineDescription() = default;
+
+  std::string Name;
+  std::vector<UnitType> Units;
+  std::array<unsigned, NumOpcodes> UnitOfOpcode = {};
+  std::array<unsigned, NumOpcodes> ExecTimeOfOpcode = {};
+  std::vector<DelayRule> DelayRules;
+};
+
+} // namespace gis
+
+#endif // GIS_MACHINE_MACHINEDESCRIPTION_H

@@ -1,0 +1,147 @@
+//===- sched/Duplication.cpp - Scheduling with duplication -----------------===//
+
+#include "sched/Duplication.h"
+
+#include "analysis/DataDeps.h"
+#include "analysis/Liveness.h"
+#include "machine/MachineDescription.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+DuplicationStats gis::duplicateIntoPreds(Function &F, const SchedRegion &R,
+                                         const DuplicationOptions &Opts) {
+  DuplicationStats Stats;
+  // Dependence structure of the region (delays are irrelevant here, only
+  // the edges; any machine description works).
+  DataDeps DD = DataDeps::compute(F, R, MachineDescription::rs6k());
+
+  std::vector<unsigned> TopoPos(R.numNodes(), ~0u);
+  for (unsigned K = 0; K != R.topoOrder().size(); ++K)
+    TopoPos[R.topoOrder()[K]] = K;
+
+  // Instructions already replicated into the predecessors: for dependence
+  // purposes they sit before any later insertion point.
+  std::vector<bool> Replicated(DD.numNodes(), false);
+
+  Liveness LV = Liveness::compute(F);
+  bool LivenessDirty = false;
+
+  for (unsigned BN : R.topoOrder()) {
+    const RegionNode &BNode = R.node(BN);
+    if (!BNode.isBlock() || BN == R.entryNode())
+      continue;
+    BlockId B = BNode.Block;
+
+    // Region predecessors; joins only, all real blocks.
+    const std::vector<unsigned> &Preds = R.forwardGraph().Preds[BN];
+    if (Preds.size() < 2)
+      continue;
+    bool PredsOk = true;
+    for (unsigned PN : Preds)
+      PredsOk &= R.node(PN).isBlock();
+    if (!PredsOk)
+      continue;
+
+    // Hoist from the head of B while the conditions hold.
+    while (!F.block(B).instrs().empty() &&
+           Stats.DuplicatedInstrs < Opts.MaxPerRegion) {
+      InstrId Head = F.block(B).instrs().front();
+      const Instruction &I = F.instr(Head);
+      if (I.neverCrossesBlock() || I.isTerminator())
+        break;
+      int NodeIdx = DD.nodeOfInstr(Head);
+      GIS_ASSERT(NodeIdx >= 0, "region instruction missing from DDG");
+
+      // Dependence predecessors must precede every insertion point.
+      bool DepsOk = true;
+      for (unsigned EIdx : DD.predEdges(static_cast<unsigned>(NodeIdx))) {
+        unsigned PD = DD.edges()[EIdx].From;
+        if (Replicated[PD])
+          continue; // already sits at the end of every predecessor
+        unsigned PB = DD.ddgNode(PD).RegionNode;
+        for (unsigned PN : Preds)
+          if (!(TopoPos[PB] < TopoPos[PN] || PB == PN)) {
+            DepsOk = false;
+            break;
+          }
+        if (!DepsOk)
+          break;
+      }
+      if (!DepsOk)
+        break;
+
+      if (LivenessDirty) {
+        LV = Liveness::compute(F);
+        LivenessDirty = false;
+      }
+
+      // Per-predecessor safety.
+      bool Safe = true;
+      for (unsigned PN : Preds) {
+        BlockId P = R.node(PN).Block;
+        InstrId Term = F.terminatorOf(P);
+        if (Term != InvalidId) {
+          // The copy lands before the terminator: it must not clobber the
+          // terminator's inputs.
+          for (Reg D : I.defs())
+            if (F.instr(Term).usesReg(D)) {
+              Safe = false;
+              break;
+            }
+        }
+        if (!Safe)
+          break;
+        // Off-path execution: the copy runs on every path out of P.
+        bool HasOtherSuccs = false;
+        for (BlockId S : F.block(P).succs())
+          HasOtherSuccs |= S != B;
+        if (HasOtherSuccs) {
+          if (I.neverSpeculates()) { // stores, trapping divides
+            Safe = false;
+            break;
+          }
+          for (BlockId S : F.block(P).succs()) {
+            if (S == B)
+              continue;
+            for (Reg D : I.defs())
+              if (LV.isLiveIn(S, D)) {
+                Safe = false;
+                break;
+              }
+            if (!Safe)
+              break;
+          }
+        }
+        if (!Safe)
+          break;
+      }
+      if (!Safe)
+        break;
+
+      // Transform: one copy at the end of each predecessor, original gone.
+      F.block(B).instrs().erase(F.block(B).instrs().begin());
+      for (unsigned PN : Preds) {
+        BlockId P = R.node(PN).Block;
+        InstrId Copy = F.cloneInstr(Head);
+        std::vector<InstrId> &PInstrs = F.block(P).instrs();
+        InstrId Term = F.terminatorOf(P);
+        if (Term != InvalidId)
+          PInstrs.insert(PInstrs.end() - 1, Copy);
+        else
+          PInstrs.push_back(Copy);
+        ++Stats.CopiesInserted;
+      }
+      Replicated[static_cast<unsigned>(NodeIdx)] = true;
+      ++Stats.DuplicatedInstrs;
+      LivenessDirty = true;
+    }
+  }
+
+  if (Stats.DuplicatedInstrs) {
+    F.recomputeCFG();
+    F.renumberOriginalOrder();
+  }
+  return Stats;
+}

@@ -1,0 +1,61 @@
+//===- sched/Duplication.h - Scheduling with duplication --------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling with duplication -- the paper's Definition 6 motion, listed
+/// as future work ("we are going to extend our work by supporting ...
+/// scheduling with duplication of code").  This implements the restricted
+/// join-replication form: an instruction at the head of a join block B is
+/// replaced by one copy at the end of *every* region predecessor of B, so
+/// each predecessor's scheduler (the final basic-block pass) can pull it
+/// into otherwise-wasted delay slots.  This is also the flavour of code
+/// replication the paper's base compiler used for loop-closing delays
+/// [GR90].
+///
+/// Safety conditions per candidate I in join B with predecessors P_i:
+///  - I may cross blocks (no calls/branches) and B is not the region entry;
+///  - every dependence predecessor of I is placed before the insertion
+///    point (in a block topologically before P_i, or inside P_i);
+///  - for every P_i with successors other than B, executing I on those
+///    paths must be harmless: I must not write memory or trap, and its
+///    definitions must not be live into any other successor;
+///  - every P_i lies in the region and is a real block.
+///
+/// The motion count per region is capped to bound code growth (the
+/// paper's stated reason for deferring duplication: "might increase the
+/// code size incurring additional costs in terms of instruction cache
+/// misses").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_DUPLICATION_H
+#define GIS_SCHED_DUPLICATION_H
+
+#include "analysis/Region.h"
+#include "ir/Function.h"
+
+namespace gis {
+
+/// Options for the duplication pass.
+struct DuplicationOptions {
+  /// Maximum instructions duplicated per region.
+  unsigned MaxPerRegion = 16;
+};
+
+/// Statistics of one duplication pass.
+struct DuplicationStats {
+  unsigned DuplicatedInstrs = 0; ///< originals removed from their joins
+  unsigned CopiesInserted = 0;   ///< copies placed into predecessors
+};
+
+/// Applies join replication to one region of \p F.
+DuplicationStats duplicateIntoPreds(Function &F, const SchedRegion &R,
+                                    const DuplicationOptions &Opts);
+
+} // namespace gis
+
+#endif // GIS_SCHED_DUPLICATION_H

@@ -1,0 +1,184 @@
+//===- sched/GlobalScheduler.cpp - PDG-based global scheduling -------------===//
+
+#include "sched/GlobalScheduler.h"
+
+#include "analysis/Liveness.h"
+#include "sched/Heuristics.h"
+#include "sched/ListScheduler.h"
+#include "sched/Renaming.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace gis;
+
+GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
+                                                 const SchedRegion &R) {
+  GlobalSchedStats Stats;
+  if (Opts.Level == SchedLevel::None)
+    return Stats;
+
+  PDG P = PDG::build(F, R, MD);
+  const DataDeps &DD = P.dataDeps();
+  Stats.RegionsScheduled = 1;
+
+  // Topological position of each region node (for the Fixed/Blocked
+  // disposition of non-candidate predecessors).
+  std::vector<unsigned> TopoPos(R.numNodes(), ~0u);
+  for (unsigned K = 0; K != R.topoOrder().size(); ++K)
+    TopoPos[R.topoOrder()[K]] = K;
+
+  // Current placement of every DDG node; updated as instructions move.
+  std::vector<unsigned> CurNode(DD.numNodes());
+  for (unsigned N = 0; N != DD.numNodes(); ++N)
+    CurNode[N] = DD.ddgNode(N).RegionNode;
+
+  // Live-on-exit sets, maintained dynamically (Section 5.3): recomputed
+  // lazily after motions.
+  Liveness LV = Liveness::compute(F);
+  bool LivenessDirty = false;
+  auto FreshLiveness = [&]() -> Liveness & {
+    if (LivenessDirty) {
+      LV = Liveness::compute(F);
+      LivenessDirty = false;
+    }
+    return LV;
+  };
+
+  unsigned SpecDepth =
+      Opts.Level == SchedLevel::Speculative ? Opts.MaxSpecDepth : 0;
+
+  // Process the region's real blocks in topological order.
+  for (unsigned A : R.topoOrder()) {
+    const RegionNode &ANode = R.node(A);
+    if (!ANode.isBlock())
+      continue;
+    BlockId ABlock = ANode.Block;
+    ++Stats.BlocksScheduled;
+
+    // Heuristics reflect the current placement (recomputed per block: the
+    // previous block's motions changed block contents).
+    Heuristics H = computeHeuristics(F, DD, MD, CurNode);
+
+    // Own instructions, in current program order.
+    std::vector<unsigned> Own;
+    for (InstrId I : F.block(ABlock).instrs()) {
+      int N = DD.nodeOfInstr(I);
+      GIS_ASSERT(N >= 0, "instruction in region block missing from DDG");
+      Own.push_back(static_cast<unsigned>(N));
+    }
+
+    // U(A) = A union EQUIV(A) decides the useful/speculative class.
+    std::vector<unsigned> Equiv = P.equivSet(A);
+    std::unordered_set<unsigned> UofA(Equiv.begin(), Equiv.end());
+    UofA.insert(A);
+
+    // Candidate instructions from C(A) (Section 5.1), by *current*
+    // placement.
+    std::vector<EngineCandidate> External;
+    for (unsigned Bn : P.candidateBlocks(A, SpecDepth)) {
+      const RegionNode &BNode = R.node(Bn);
+      if (!BNode.isBlock())
+        continue; // summaries contribute no instructions
+      bool Useful = UofA.count(Bn) != 0;
+      for (InstrId I : F.block(BNode.Block).instrs()) {
+        int N = DD.nodeOfInstr(I);
+        if (N < 0 || CurNode[N] != Bn)
+          continue;
+        const Instruction &Ins = F.instr(I);
+        if (Ins.neverCrossesBlock())
+          continue;
+        if (!Useful && Ins.neverSpeculates())
+          continue;
+        EngineCandidate C;
+        C.DDGNode = static_cast<unsigned>(N);
+        C.Useful = Useful;
+        C.Speculative = !Useful;
+        if (Opts.Profile && !Useful)
+          C.Freq = Opts.Profile->frequency(F, BNode.Block);
+        External.push_back(C);
+      }
+    }
+
+    auto Disposition = [&](unsigned Pred) {
+      return TopoPos[CurNode[Pred]] < TopoPos[A] ? PredDisposition::Fixed
+                                                 : PredDisposition::Blocked;
+    };
+
+    // Section 5.3 guard: a speculative instruction must not write a
+    // register that is live on exit from A.  Renaming rescues the common
+    // local-value case (Figure 6's cr6 -> cr5).
+    auto SpecCheck = [&](unsigned Node) {
+      InstrId I = DD.ddgNode(Node).Instr;
+      Liveness &Live = FreshLiveness();
+      // Collect conflicting defs first; rename only if all are renameable.
+      std::vector<Reg> Conflicts;
+      for (Reg D : F.instr(I).defs())
+        if (Live.isLiveOut(ABlock, D))
+          Conflicts.push_back(D);
+      if (Conflicts.empty())
+        return true;
+      if (!Opts.EnableRenaming) {
+        ++Stats.VetoedSpeculations;
+        return false;
+      }
+      // An instruction reading the register it rewrites (LU-style base
+      // update) cannot be detached from the old value by local renaming.
+      BlockId Home = R.node(CurNode[Node]).Block;
+      for (Reg D : Conflicts)
+        if (F.instr(I).usesReg(D)) {
+          ++Stats.VetoedSpeculations;
+          return false;
+        }
+      for (Reg D : Conflicts) {
+        if (!renameLocalDef(F, Home, I, D, Live)) {
+          ++Stats.VetoedSpeculations;
+          return false; // earlier successful renames remain; still sound
+        }
+        ++Stats.Renames;
+        LivenessDirty = true;
+      }
+      return true;
+    };
+
+    // The paper moves a picked instruction immediately ("once an
+    // instruction is picked up to be scheduled, it is moved to the proper
+    // place in the code"), keeping live-on-exit information current for
+    // subsequent speculative checks within the same target block.
+    auto OnSchedule = [&](unsigned Node, bool IsExternal) {
+      if (!IsExternal)
+        return;
+      InstrId I = DD.ddgNode(Node).Instr;
+      unsigned From = CurNode[Node];
+      BlockId Home = R.node(From).Block;
+      std::vector<InstrId> &HomeInstrs = F.block(Home).instrs();
+      auto It = std::find(HomeInstrs.begin(), HomeInstrs.end(), I);
+      GIS_ASSERT(It != HomeInstrs.end(), "moved instruction not at home");
+      HomeInstrs.erase(It);
+      // Placed at the end of A for now; the final intra-block order is
+      // installed after the engine finishes.
+      F.block(ABlock).instrs().push_back(I);
+      CurNode[Node] = A;
+      LivenessDirty = true;
+      if (UofA.count(From))
+        ++Stats.UsefulMotions;
+      else
+        ++Stats.SpeculativeMotions;
+    };
+
+    ListScheduler Engine(F, DD, MD, H, Opts.Order);
+    EngineResult Sched =
+        Engine.run(Own, External, Disposition, SpecCheck, OnSchedule);
+
+    // Install A's final intra-block order.
+    std::vector<InstrId> NewContents;
+    NewContents.reserve(Sched.Order.size());
+    for (unsigned Node : Sched.Order)
+      NewContents.push_back(DD.ddgNode(Node).Instr);
+    GIS_ASSERT(NewContents.size() == F.block(ABlock).instrs().size(),
+               "scheduled order must cover exactly the block contents");
+    F.block(ABlock).instrs() = std::move(NewContents);
+  }
+
+  return Stats;
+}

@@ -1,0 +1,220 @@
+//===- sched/ListScheduler.cpp - Cycle-by-cycle list scheduler -------------===//
+
+#include "sched/ListScheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace gis;
+
+namespace {
+
+/// Per-candidate scheduling state.
+struct CandState {
+  unsigned DDGNode;
+  bool Own;
+  bool Useful;
+  bool Speculative;
+  uint64_t Freq = 0;
+  bool IsTerminator;
+  unsigned PredsRemaining = 0; ///< unscheduled candidate predecessors
+  uint64_t ReadyTime = 0;
+  bool Scheduled = false;
+  bool Dropped = false;
+};
+
+} // namespace
+
+EngineResult ListScheduler::run(
+    const std::vector<unsigned> &Own,
+    const std::vector<EngineCandidate> &External,
+    const std::function<PredDisposition(unsigned)> &Disposition,
+    const std::function<bool(unsigned)> &SpecCheck,
+    const std::function<void(unsigned, bool)> &OnSchedule) {
+  EngineResult Result;
+
+  // Candidate table and DDG-node -> candidate index map.
+  std::vector<CandState> Cands;
+  std::unordered_map<unsigned, unsigned> CandOf;
+  auto AddCand = [&](unsigned Node, bool IsOwn, bool Useful, bool Spec,
+                     uint64_t Freq) {
+    CandState C;
+    C.DDGNode = Node;
+    C.Own = IsOwn;
+    C.Useful = Useful;
+    C.Speculative = Spec;
+    C.Freq = Freq;
+    const DataDeps::Node &N = DD.ddgNode(Node);
+    GIS_ASSERT(!N.isBarrier(), "barrier nodes are never scheduling candidates");
+    C.IsTerminator = F.instr(N.Instr).isTerminator();
+    CandOf.emplace(Node, static_cast<unsigned>(Cands.size()));
+    Cands.push_back(C);
+  };
+  for (unsigned Node : Own)
+    AddCand(Node, /*IsOwn=*/true, /*Useful=*/true, /*Spec=*/false,
+            /*Freq=*/0);
+  for (const EngineCandidate &E : External) {
+    GIS_ASSERT(!CandOf.count(E.DDGNode), "duplicate candidate");
+    AddCand(E.DDGNode, /*IsOwn=*/false, E.Useful, E.Speculative, E.Freq);
+  }
+
+  // Resolve predecessors: count candidate preds, detect blocked ones.
+  for (CandState &C : Cands) {
+    for (unsigned EIdx : DD.predEdges(C.DDGNode)) {
+      unsigned P = DD.edges()[EIdx].From;
+      auto It = CandOf.find(P);
+      if (It != CandOf.end()) {
+        ++C.PredsRemaining;
+        continue;
+      }
+      if (Disposition(P) == PredDisposition::Blocked) {
+        GIS_ASSERT(!C.Own, "own instruction depends on a blocked external");
+        C.Dropped = true;
+      }
+    }
+  }
+
+  // Propagate drops: a candidate depending on a dropped candidate can
+  // never be scheduled either.  One pass in node order suffices (edges go
+  // forward).
+  for (CandState &C : Cands) {
+    if (C.Dropped)
+      continue;
+    for (unsigned EIdx : DD.predEdges(C.DDGNode)) {
+      auto It = CandOf.find(DD.edges()[EIdx].From);
+      if (It != CandOf.end() && Cands[It->second].Dropped) {
+        GIS_ASSERT(!C.Own, "own instruction depends on a dropped external");
+        C.Dropped = true;
+        break;
+      }
+    }
+  }
+
+  // Priority comparator (Section 5.2 rules, in the configured order).
+  auto CmpClass = [&](const CandState &A, const CandState &B) -> int {
+    return A.Useful == B.Useful ? 0 : (A.Useful ? 1 : -1);
+  };
+  auto CmpD = [&](const CandState &A, const CandState &B) -> int {
+    unsigned DA = H.D[A.DDGNode], DB = H.D[B.DDGNode];
+    return DA == DB ? 0 : (DA > DB ? 1 : -1);
+  };
+  auto CmpCP = [&](const CandState &A, const CandState &B) -> int {
+    unsigned CPA = H.CP[A.DDGNode], CPB = H.CP[B.DDGNode];
+    return CPA == CPB ? 0 : (CPA > CPB ? 1 : -1);
+  };
+  // Profile tie-break among speculative candidates: a motion from a more
+  // frequently executed block gambles on a likelier branch outcome.
+  auto CmpFreq = [&](const CandState &A, const CandState &B) -> int {
+    if (!A.Speculative || !B.Speculative || A.Freq == B.Freq)
+      return 0;
+    return A.Freq > B.Freq ? 1 : -1;
+  };
+  auto Better = [&](const CandState &A, const CandState &B) {
+    int R = 0;
+    switch (Order) {
+    case PriorityOrder::Paper:
+      if ((R = CmpClass(A, B)) || (R = CmpFreq(A, B)) || (R = CmpD(A, B)) ||
+          (R = CmpCP(A, B)))
+        return R > 0;
+      break;
+    case PriorityOrder::DelayFirst:
+      if ((R = CmpD(A, B)) || (R = CmpClass(A, B)) || (R = CmpFreq(A, B)) ||
+          (R = CmpCP(A, B)))
+        return R > 0;
+      break;
+    case PriorityOrder::CriticalFirst:
+      if ((R = CmpCP(A, B)) || (R = CmpClass(A, B)) || (R = CmpFreq(A, B)) ||
+          (R = CmpD(A, B)))
+        return R > 0;
+      break;
+    case PriorityOrder::SourceOrder:
+      break;
+    }
+    return F.instr(DD.ddgNode(A.DDGNode).Instr).originalOrder() <
+           F.instr(DD.ddgNode(B.DDGNode).Instr).originalOrder(); // rule 7
+  };
+
+  // Unit occupancy: busy-until per unit instance, per type.
+  std::vector<std::vector<uint64_t>> UnitBusy(MD.numUnitTypes());
+  for (unsigned T = 0; T != MD.numUnitTypes(); ++T)
+    UnitBusy[T].assign(MD.unitType(T).Count, 0);
+
+  unsigned OwnRemaining = static_cast<unsigned>(Own.size());
+  uint64_t Cycle = 0;
+  constexpr uint64_t CycleCap = 1'000'000;
+
+  auto OnScheduled = [&](CandState &C, uint64_t At) {
+    C.Scheduled = true;
+    Result.Order.push_back(C.DDGNode);
+    Result.Cycles.push_back(At);
+    unsigned Exec = MD.execTime(F.instr(DD.ddgNode(C.DDGNode).Instr).opcode());
+    if (C.Own)
+      Result.Makespan = std::max(Result.Makespan, At + Exec);
+    // Release successors.
+    for (unsigned EIdx : DD.succEdges(C.DDGNode)) {
+      const DepEdge &E = DD.edges()[EIdx];
+      auto It = CandOf.find(E.To);
+      if (It == CandOf.end())
+        continue;
+      CandState &S = Cands[It->second];
+      GIS_ASSERT(S.PredsRemaining > 0, "predecessor count underflow");
+      --S.PredsRemaining;
+      S.ReadyTime = std::max(S.ReadyTime, At + Exec + E.Delay);
+    }
+  };
+
+  while (OwnRemaining > 0) {
+    GIS_ASSERT(Cycle < CycleCap, "list scheduler failed to converge");
+
+    // Ready list for this cycle, best-first.
+    std::vector<unsigned> Ready;
+    for (unsigned K = 0; K != Cands.size(); ++K) {
+      CandState &C = Cands[K];
+      if (C.Scheduled || C.Dropped || C.PredsRemaining > 0 ||
+          C.ReadyTime > Cycle)
+        continue;
+      // The target block's terminator stays positionally last: gate it
+      // until it is the only own instruction left.
+      if (C.Own && C.IsTerminator && OwnRemaining > 1)
+        continue;
+      Ready.push_back(K);
+    }
+    std::sort(Ready.begin(), Ready.end(), [&](unsigned A, unsigned B) {
+      return Better(Cands[A], Cands[B]);
+    });
+
+    for (unsigned K : Ready) {
+      CandState &C = Cands[K];
+      if (C.Scheduled || C.Dropped)
+        continue;
+      Opcode Op = F.instr(DD.ddgNode(C.DDGNode).Instr).opcode();
+      unsigned Type = MD.unitTypeForOp(Op);
+      // A free unit instance of the right type this cycle?
+      int Unit = -1;
+      for (unsigned UI = 0; UI != UnitBusy[Type].size(); ++UI)
+        if (UnitBusy[Type][UI] <= Cycle) {
+          Unit = static_cast<int>(UI);
+          break;
+        }
+      if (Unit < 0)
+        continue;
+
+      if (C.Speculative && SpecCheck && !SpecCheck(C.DDGNode)) {
+        C.Dropped = true;
+        continue;
+      }
+
+      UnitBusy[Type][static_cast<unsigned>(Unit)] =
+          Cycle + MD.execTime(Op);
+      OnScheduled(C, Cycle);
+      if (OnSchedule)
+        OnSchedule(C.DDGNode, !C.Own);
+      if (C.Own && --OwnRemaining == 0)
+        break; // target block complete; externals stop here too
+    }
+
+    ++Cycle;
+  }
+
+  return Result;
+}

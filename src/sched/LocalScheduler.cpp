@@ -1,0 +1,94 @@
+//===- sched/LocalScheduler.cpp - Basic-block scheduler --------------------===//
+
+#include "sched/LocalScheduler.h"
+
+#include "analysis/LoopInfo.h"
+#include "analysis/Region.h"
+#include "sched/Heuristics.h"
+#include "sched/ListScheduler.h"
+
+using namespace gis;
+
+namespace {
+
+/// Schedules every real block of one region with the block's own
+/// instructions as the only candidates.
+void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
+                          const SchedRegion &R, LocalSchedStats &Stats);
+
+} // namespace
+
+LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD) {
+  LocalSchedStats Stats;
+  F.recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(F);
+
+  // Regions proper require reducible control flow; otherwise fall back to
+  // degenerate one-block regions (the scheduling result is identical: the
+  // local scheduler only uses intra-block structure).
+  if (!LI.isReducible()) {
+    for (BlockId B : F.layout())
+      scheduleRegionBlocks(F, MD, SchedRegion::buildSingleBlock(F, B), Stats);
+    return Stats;
+  }
+
+  // Every block is a direct member of exactly one region (its innermost
+  // loop, or the top level); iterate all regions so all blocks are
+  // rescheduled once.
+  std::vector<int> RegionIds;
+  for (unsigned L = 0; L != LI.numLoops(); ++L)
+    RegionIds.push_back(static_cast<int>(L));
+  RegionIds.push_back(-1);
+
+  for (int RegionId : RegionIds) {
+    SchedRegion R = SchedRegion::build(F, LI, RegionId);
+    scheduleRegionBlocks(F, MD, R, Stats);
+  }
+  return Stats;
+}
+
+namespace {
+
+void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
+                        const SchedRegion &R, LocalSchedStats &Stats) {
+  DataDeps DD = DataDeps::compute(F, R, MD);
+
+  std::vector<unsigned> CurNode(DD.numNodes());
+  for (unsigned N = 0; N != DD.numNodes(); ++N)
+    CurNode[N] = DD.ddgNode(N).RegionNode;
+  Heuristics H = computeHeuristics(F, DD, MD, CurNode);
+  ListScheduler Engine(F, DD, MD, H);
+
+  auto AllFixed = [](unsigned) { return PredDisposition::Fixed; };
+  auto NoSpec = [](unsigned) { return true; };
+
+  for (unsigned A : R.topoOrder()) {
+    const RegionNode &ANode = R.node(A);
+    if (!ANode.isBlock())
+      continue;
+    BasicBlock &BB = F.block(ANode.Block);
+    ++Stats.BlocksScheduled;
+
+    std::vector<unsigned> Own;
+    for (InstrId I : BB.instrs()) {
+      int N = DD.nodeOfInstr(I);
+      GIS_ASSERT(N >= 0, "block instruction missing from DDG");
+      Own.push_back(static_cast<unsigned>(N));
+    }
+
+    EngineResult Sched = Engine.run(Own, {}, AllFixed, NoSpec);
+    GIS_ASSERT(Sched.Order.size() == Own.size(),
+               "local scheduling must keep all instructions");
+
+    std::vector<InstrId> NewContents;
+    NewContents.reserve(Sched.Order.size());
+    for (unsigned Node : Sched.Order)
+      NewContents.push_back(DD.ddgNode(Node).Instr);
+    if (NewContents != BB.instrs()) {
+      ++Stats.BlocksReordered;
+      BB.instrs() = std::move(NewContents);
+    }
+  }
+}
+
+} // namespace

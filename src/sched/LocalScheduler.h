@@ -1,0 +1,37 @@
+//===- sched/LocalScheduler.h - Basic-block scheduler -----------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basic-block scheduler applied to every block after global
+/// scheduling (paper Section 5.1: "the basic block scheduler is applied to
+/// every single basic block of a program after the global scheduling is
+/// completed").  It reuses the list-scheduling engine with the block's own
+/// instructions as the only candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_LOCALSCHEDULER_H
+#define GIS_SCHED_LOCALSCHEDULER_H
+
+#include "ir/Function.h"
+#include "machine/MachineDescription.h"
+
+namespace gis {
+
+/// Statistics of a local scheduling pass.
+struct LocalSchedStats {
+  unsigned BlocksScheduled = 0;
+  unsigned BlocksReordered = 0; ///< blocks whose instruction order changed
+};
+
+/// Reorders the instructions of every basic block of \p F for the machine
+/// \p MD, respecting all data dependences.  The CFG never changes.
+LocalSchedStats scheduleLocal(Function &F, const MachineDescription &MD);
+
+} // namespace gis
+
+#endif // GIS_SCHED_LOCALSCHEDULER_H

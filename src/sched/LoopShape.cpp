@@ -1,0 +1,26 @@
+//===- sched/LoopShape.cpp - Shared loop-shape helpers ---------------------===//
+
+#include "sched/LoopShape.h"
+
+using namespace gis;
+
+std::vector<BlockId> gis::contiguousLoopBlocks(const Function &F,
+                                               const Loop &L) {
+  std::vector<BlockId> Blocks;
+  size_t First = ~size_t(0);
+  const std::vector<BlockId> &Layout = F.layout();
+  for (size_t K = 0; K != Layout.size(); ++K)
+    if (L.Blocks.test(Layout[K])) {
+      First = K;
+      break;
+    }
+  if (First == ~size_t(0))
+    return {};
+  for (size_t K = First; K != Layout.size() && L.Blocks.test(Layout[K]); ++K)
+    Blocks.push_back(Layout[K]);
+  if (Blocks.size() != L.numBlocks())
+    return {}; // not contiguous in the layout
+  if (Blocks.front() != L.Header)
+    return {}; // header not first
+  return Blocks;
+}

@@ -1,0 +1,31 @@
+//===- sched/LoopShape.h - Shared loop-shape helpers ------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layout-shape queries shared by the unrolling and rotation transforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_LOOPSHAPE_H
+#define GIS_SCHED_LOOPSHAPE_H
+
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace gis {
+
+/// The loop's blocks in layout order if they are contiguous with the
+/// header first; empty otherwise.  Both unrolling and rotation splice
+/// copies behind the loop and rely on this shape (the shape every
+/// frontend-generated loop has).
+std::vector<BlockId> contiguousLoopBlocks(const Function &F, const Loop &L);
+
+} // namespace gis
+
+#endif // GIS_SCHED_LOOPSHAPE_H

@@ -1,0 +1,195 @@
+//===- sched/Pipeline.cpp - The paper's scheduling pipeline ----------------===//
+
+#include "sched/Pipeline.h"
+
+#include "analysis/Region.h"
+#include "sched/Duplication.h"
+#include "sched/PreRenaming.h"
+#include "sched/Rotate.h"
+#include "sched/Unroll.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+namespace {
+
+/// Loop levels scheduled by the pipeline: a loop is "inner" when it has no
+/// children; "outer" when all its children are inner.  The top-level
+/// region (the function body) is treated as outer.
+bool isInnerLoop(const LoopInfo &LI, unsigned L) {
+  return LI.loop(L).Children.empty();
+}
+
+bool isOuterLoop(const LoopInfo &LI, unsigned L) {
+  if (LI.loop(L).Children.empty())
+    return false;
+  for (int C : LI.loop(L).Children)
+    if (!LI.loop(C).Children.empty())
+      return false;
+  return true;
+}
+
+/// Schedules region \p LoopIdx (or -1 for the top level) if it is within
+/// the size limits.
+void scheduleOneRegion(Function &F, const MachineDescription &MD,
+                       const PipelineOptions &Opts, const LoopInfo &LI,
+                       int LoopIdx, PipelineStats &Stats) {
+  SchedRegion R = SchedRegion::build(F, LI, LoopIdx);
+  if (R.numRealBlocks() > Opts.RegionBlockLimit ||
+      R.numInstrs() > Opts.RegionInstrLimit) {
+    ++Stats.RegionsSkippedBySize;
+    return;
+  }
+  GlobalSchedOptions GOpts;
+  GOpts.Level = Opts.Level;
+  GOpts.MaxSpecDepth = Opts.MaxSpecDepth;
+  GOpts.EnableRenaming = Opts.EnableRenaming;
+  GOpts.Order = Opts.Order;
+  GOpts.Profile = Opts.Profile;
+  GlobalScheduler GS(MD, GOpts);
+  Stats.Global += GS.scheduleRegion(F, R);
+}
+
+} // namespace
+
+PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
+                                    const PipelineOptions &Opts) {
+  PipelineStats Stats;
+  F.recomputeCFG();
+  F.renumberOriginalOrder();
+
+  LoopInfo LI = LoopInfo::compute(F);
+  bool GlobalEnabled = Opts.Level != SchedLevel::None;
+  if (!LI.isReducible()) {
+    ++Stats.FunctionsSkippedIrreducible;
+    GlobalEnabled = false;
+  }
+
+  // Step 0: the Section 4.2 preprocessing -- rename block-local values so
+  // register reuse does not manufacture anti/output dependences.  In the
+  // paper this renaming belongs to the XL compiler's general optimization
+  // (the base compiler has it too), so it is not gated on the global
+  // scheduling level: the basic-block scheduler profits as well.
+  if (Opts.EnablePreRenaming)
+    Stats.PreRenamedDefs = preRenameLocals(F).RenamedDefs;
+
+  if (GlobalEnabled) {
+    // Step 1: unroll small inner loops once.  Each unroll invalidates
+    // LoopInfo, so process one loop at a time.
+    if (Opts.EnableUnroll) {
+      bool Progress = true;
+      std::vector<BlockId> UnrolledHeaders;
+      while (Progress) {
+        Progress = false;
+        LI = LoopInfo::compute(F);
+        for (unsigned L = 0; L != LI.numLoops(); ++L) {
+          if (!isInnerLoop(LI, L) ||
+              LI.loop(L).numBlocks() > Opts.UnrollMaxBlocks)
+            continue;
+          if (std::find(UnrolledHeaders.begin(), UnrolledHeaders.end(),
+                        LI.loop(L).Header) != UnrolledHeaders.end())
+            continue; // already unrolled once
+          if (unrollLoopOnce(F, LI, L)) {
+            UnrolledHeaders.push_back(LI.loop(L).Header);
+            ++Stats.LoopsUnrolled;
+            Progress = true;
+            break; // LoopInfo is stale; restart
+          }
+          UnrolledHeaders.push_back(LI.loop(L).Header); // shape unsupported
+        }
+      }
+    }
+
+    // Step 2: first global scheduling pass over the inner regions.
+    LI = LoopInfo::compute(F);
+    for (unsigned L : LI.innermostFirstOrder())
+      if (isInnerLoop(LI, L))
+        scheduleOneRegion(F, MD, Opts, LI, static_cast<int>(L), Stats);
+
+    // Step 3: rotate small inner loops.
+    if (Opts.EnableRotate) {
+      bool Progress = true;
+      std::vector<BlockId> RotatedHeaders;
+      while (Progress) {
+        Progress = false;
+        LI = LoopInfo::compute(F);
+        for (unsigned L = 0; L != LI.numLoops(); ++L) {
+          if (!isInnerLoop(LI, L) ||
+              LI.loop(L).numBlocks() > Opts.RotateMaxBlocks)
+            continue;
+          if (std::find(RotatedHeaders.begin(), RotatedHeaders.end(),
+                        LI.loop(L).Header) != RotatedHeaders.end())
+            continue;
+          if (rotateLoop(F, LI, L)) {
+            // The rotated loop's header changes; remember the new loops by
+            // marking every current header as done after one rotation.
+            ++Stats.LoopsRotated;
+            LI = LoopInfo::compute(F);
+            for (unsigned L2 = 0; L2 != LI.numLoops(); ++L2)
+              RotatedHeaders.push_back(LI.loop(L2).Header);
+            Progress = true;
+            break;
+          }
+          RotatedHeaders.push_back(LI.loop(L).Header);
+        }
+      }
+    }
+
+    // Step 4: second global scheduling pass -- rotated inner loops plus
+    // outer regions (and the top-level region).
+    LI = LoopInfo::compute(F);
+    for (unsigned L : LI.innermostFirstOrder()) {
+      bool Schedule = isInnerLoop(LI, L) ||
+                      (Opts.OnlyTwoInnerLevels ? isOuterLoop(LI, L) : true);
+      if (Schedule)
+        scheduleOneRegion(F, MD, Opts, LI, static_cast<int>(L), Stats);
+    }
+    // The function body region: with the two-level restriction it is
+    // scheduled only when no loop nesting exceeds it (the body is then
+    // effectively the outer region).
+    bool ScheduleTop = true;
+    if (Opts.OnlyTwoInnerLevels) {
+      for (unsigned L = 0; L != LI.numLoops(); ++L)
+        if (LI.loop(L).Parent < 0 && !LI.loop(L).Children.empty())
+          ScheduleTop = false; // top level sits above two loop levels
+    }
+    if (ScheduleTop)
+      scheduleOneRegion(F, MD, Opts, LI, -1, Stats);
+
+    // Future-work extension: join replication (Definition 6) over the
+    // inner regions, feeding the final basic-block pass extra slack.
+    if (Opts.AllowDuplication) {
+      LI = LoopInfo::compute(F);
+      DuplicationOptions DOpts;
+      DOpts.MaxPerRegion = Opts.MaxDuplicationsPerRegion;
+      for (unsigned L : LI.innermostFirstOrder()) {
+        if (!isInnerLoop(LI, L))
+          continue;
+        SchedRegion R = SchedRegion::build(F, LI, static_cast<int>(L));
+        if (R.numRealBlocks() > Opts.RegionBlockLimit ||
+            R.numInstrs() > Opts.RegionInstrLimit)
+          continue;
+        Stats.DuplicatedInstrs +=
+            duplicateIntoPreds(F, R, DOpts).DuplicatedInstrs;
+      }
+    }
+  }
+
+  // Step 5: the basic-block scheduler with its (per the paper, more
+  // detailed) machine model runs over every block.
+  if (Opts.RunLocalScheduler)
+    Stats.Local = scheduleLocal(F, MD);
+
+  F.recomputeCFG();
+  F.renumberOriginalOrder();
+  return Stats;
+}
+
+PipelineStats gis::scheduleModule(Module &M, const MachineDescription &MD,
+                                  const PipelineOptions &Opts) {
+  PipelineStats Stats;
+  for (auto &F : M.functions())
+    Stats += schedulePipeline(*F, MD, Opts);
+  return Stats;
+}

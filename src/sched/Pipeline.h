@@ -1,0 +1,107 @@
+//===- sched/Pipeline.h - The paper's scheduling pipeline -------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end scheduling flow of paper Section 6:
+///
+///   1. certain inner loops are unrolled (<= 4 blocks, once);
+///   2. global scheduling is applied the first time to the inner regions;
+///   3. certain inner loops are rotated (<= 4 blocks);
+///   4. global scheduling is applied the second time to the rotated inner
+///      loops and the outer regions;
+///   5. the basic-block scheduler reschedules every block (Section 5.1).
+///
+/// Also implements the paper's engineering limits: only two inner levels
+/// of regions are scheduled, and only "small" reducible regions (at most
+/// 64 basic blocks and 256 instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_PIPELINE_H
+#define GIS_SCHED_PIPELINE_H
+
+#include "ir/Module.h"
+#include "machine/MachineDescription.h"
+#include "sched/GlobalScheduler.h"
+#include "sched/LocalScheduler.h"
+#include "sched/Profile.h"
+
+namespace gis {
+
+/// Options for the full scheduling pipeline.
+struct PipelineOptions {
+  SchedLevel Level = SchedLevel::Speculative;
+  unsigned MaxSpecDepth = 1;
+  bool EnableRenaming = true;
+  /// The Section 4.2 preprocessing: SSA-like renaming of block-local
+  /// values, minimizing anti/output dependences before scheduling.
+  bool EnablePreRenaming = true;
+  PriorityOrder Order = PriorityOrder::Paper;
+  /// Optional execution profile (borrowed; may be null).  Block counts
+  /// are keyed by the pre-transformation block ids, so profile-guided
+  /// runs are most effective with unrolling/rotation disabled or after
+  /// re-profiling.
+  const ProfileData *Profile = nullptr;
+
+  bool EnableUnroll = true;
+  bool EnableRotate = true;
+  unsigned UnrollMaxBlocks = 4; ///< paper: loops with up to 4 blocks
+  unsigned RotateMaxBlocks = 4;
+
+  unsigned RegionBlockLimit = 64;  ///< paper: "small" regions only
+  unsigned RegionInstrLimit = 256;
+
+  /// Schedule only the two innermost region levels (paper Section 6);
+  /// false schedules every region level.
+  bool OnlyTwoInnerLevels = true;
+
+  /// Run the basic-block scheduler after global scheduling.
+  bool RunLocalScheduler = true;
+
+  /// Future-work extension (paper Section 7): scheduling with duplication
+  /// (Definition 6), restricted to join replication.  Off by default, as
+  /// in the paper's prototype ("no duplication of code is allowed").
+  bool AllowDuplication = false;
+  unsigned MaxDuplicationsPerRegion = 16;
+};
+
+/// Aggregate statistics of one pipeline run.
+struct PipelineStats {
+  GlobalSchedStats Global;
+  LocalSchedStats Local;
+  unsigned LoopsUnrolled = 0;
+  unsigned LoopsRotated = 0;
+  unsigned PreRenamedDefs = 0;
+  unsigned DuplicatedInstrs = 0;
+  unsigned RegionsSkippedBySize = 0;
+  unsigned FunctionsSkippedIrreducible = 0;
+
+  PipelineStats &operator+=(const PipelineStats &RHS) {
+    Global += RHS.Global;
+    Local.BlocksScheduled += RHS.Local.BlocksScheduled;
+    Local.BlocksReordered += RHS.Local.BlocksReordered;
+    LoopsUnrolled += RHS.LoopsUnrolled;
+    LoopsRotated += RHS.LoopsRotated;
+    PreRenamedDefs += RHS.PreRenamedDefs;
+    DuplicatedInstrs += RHS.DuplicatedInstrs;
+    RegionsSkippedBySize += RHS.RegionsSkippedBySize;
+    FunctionsSkippedIrreducible += RHS.FunctionsSkippedIrreducible;
+    return *this;
+  }
+};
+
+/// Runs the full pipeline on one function.
+PipelineStats schedulePipeline(Function &F, const MachineDescription &MD,
+                               const PipelineOptions &Opts);
+
+/// Runs the full pipeline on every function of \p M.
+PipelineStats scheduleModule(Module &M, const MachineDescription &MD,
+                             const PipelineOptions &Opts);
+
+} // namespace gis
+
+#endif // GIS_SCHED_PIPELINE_H

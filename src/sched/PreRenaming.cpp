@@ -1,0 +1,46 @@
+//===- sched/PreRenaming.cpp - SSA-like renaming preprocessing -------------===//
+
+#include "sched/PreRenaming.h"
+
+#include "analysis/Liveness.h"
+#include "sched/Renaming.h"
+
+using namespace gis;
+
+PreRenamingStats gis::preRenameLocals(Function &F) {
+  PreRenamingStats Stats;
+  Liveness LV = Liveness::compute(F);
+
+  for (BlockId B : F.layout()) {
+    // Walk a snapshot of the block: renameLocalDef rewrites instructions
+    // in place but never adds or removes them.
+    std::vector<InstrId> Instrs = F.block(B).instrs();
+    for (size_t Pos = 0; Pos != Instrs.size(); ++Pos) {
+      InstrId Id = Instrs[Pos];
+      const Instruction &I = F.instr(Id);
+      // Candidates: plain single-def computations.  Skip instructions
+      // that read the register they write (LU/STU base updates) -- the
+      // rename helper would detach them from their input.
+      if (I.defs().size() != 1)
+        continue;
+      Reg D = I.defs()[0];
+      if (I.usesReg(D))
+        continue;
+      // Only rename when the def is *not* the last write to D in the
+      // block (a later redefinition exists) -- that is the pattern that
+      // manufactures output/anti dependences.  The last write carries the
+      // live-out value and must keep its register.
+      bool RedefinedLater = false;
+      for (size_t After = Pos + 1; After != Instrs.size(); ++After)
+        if (F.instr(Instrs[After]).definesReg(D)) {
+          RedefinedLater = true;
+          break;
+        }
+      if (!RedefinedLater)
+        continue;
+      if (renameLocalDef(F, B, Id, D, LV))
+        ++Stats.RenamedDefs;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,41 @@
+//===- sched/PreRenaming.h - SSA-like renaming preprocessing ----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The renaming preprocessing of paper Section 4.2: "To minimize the
+/// number of anti and output data dependences, which may unnecessarily
+/// constrain the scheduling process, the XL compiler does certain renaming
+/// of registers, which is similar to the effect of the static single
+/// assignment form."
+///
+/// This pass renames every *block-local value* — a definition whose uses
+/// all sit in the same block before any redefinition and whose register is
+/// not live out of the block — to a fresh register.  Reusing a register
+/// for unrelated temporaries is what creates the avoidable anti/output
+/// edges; after this pass only genuine data flow constrains the scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_PRERENAMING_H
+#define GIS_SCHED_PRERENAMING_H
+
+#include "ir/Function.h"
+
+namespace gis {
+
+/// Statistics of one pre-renaming pass.
+struct PreRenamingStats {
+  unsigned RenamedDefs = 0;
+};
+
+/// Renames block-local values of \p F to fresh registers (CFG must be up
+/// to date).  Semantics-preserving.
+PreRenamingStats preRenameLocals(Function &F);
+
+} // namespace gis
+
+#endif // GIS_SCHED_PRERENAMING_H

@@ -1,0 +1,62 @@
+//===- sched/Profile.h - Execution profiles for speculation -----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution-frequency profiles.  The paper (Section 1) notes that global
+/// scheduling "is capable of taking advantage of the branch probabilities,
+/// whenever available (e.g. computed by profiling)": a speculative motion
+/// pays off in proportion to how often the gambled-on branch actually goes
+/// the candidate's way.  A ProfileData carries per-block execution counts
+/// (as recorded by the interpreter); when supplied to the scheduler, ties
+/// among speculative candidates break toward the more frequently executed
+/// home block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_PROFILE_H
+#define GIS_SCHED_PROFILE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// Per-function, per-block execution counts keyed by function name (so a
+/// profile collected on one compile of a program applies to a fresh
+/// compile of the same source).
+class ProfileData {
+public:
+  /// Records \p Counts (indexed by BlockId) for \p F.
+  void record(const Function &F, std::vector<uint64_t> Counts) {
+    BlockFreq[F.name()] = std::move(Counts);
+  }
+
+  /// Execution count of block \p B of \p F; 0 when unknown (unprofiled
+  /// function, or a block created after profiling, e.g. by unrolling).
+  uint64_t frequency(const Function &F, BlockId B) const {
+    auto It = BlockFreq.find(F.name());
+    if (It == BlockFreq.end() || B >= It->second.size())
+      return 0;
+    return It->second[B];
+  }
+
+  bool hasFunction(const std::string &Name) const {
+    return BlockFreq.count(Name) != 0;
+  }
+
+  bool empty() const { return BlockFreq.empty(); }
+
+private:
+  std::map<std::string, std::vector<uint64_t>> BlockFreq;
+};
+
+} // namespace gis
+
+#endif // GIS_SCHED_PROFILE_H

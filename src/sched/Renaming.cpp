@@ -1,0 +1,57 @@
+//===- sched/Renaming.cpp - Register renaming for speculation --------------===//
+
+#include "sched/Renaming.h"
+
+using namespace gis;
+
+bool gis::renameLocalDef(Function &F, BlockId B, InstrId I, Reg Old,
+                         const Liveness &LV) {
+  const std::vector<InstrId> &Instrs = F.block(B).instrs();
+
+  // Locate I in B and collect the uses its definition reaches: uses after
+  // I, up to (exclusive) the next redefinition of Old in B.
+  size_t DefPos = Instrs.size();
+  for (size_t Pos = 0; Pos != Instrs.size(); ++Pos)
+    if (Instrs[Pos] == I) {
+      DefPos = Pos;
+      break;
+    }
+  if (DefPos == Instrs.size())
+    return false; // instruction is not in the block it claims to be in
+
+  std::vector<InstrId> UsesToRewrite;
+  bool Redefined = false;
+  for (size_t Pos = DefPos + 1; Pos != Instrs.size(); ++Pos) {
+    Instruction &Next = F.instr(Instrs[Pos]);
+    if (Next.usesReg(Old))
+      UsesToRewrite.push_back(Instrs[Pos]);
+    if (Next.definesReg(Old)) {
+      Redefined = true;
+      break;
+    }
+  }
+
+  // If the value survives to the block end, uses elsewhere may read it:
+  // renaming would have to chase them across blocks.  Keep to the provable
+  // local case.
+  if (!Redefined && LV.isLiveOut(B, Old))
+    return false;
+
+  Reg Fresh = F.newReg(Old.regClass());
+  Instruction &Def = F.instr(I);
+  for (Reg &D : Def.defs())
+    if (D == Old)
+      D = Fresh;
+  // An instruction that also reads the register it updates (e.g. LU's
+  // base) cannot be renamed this way; such instructions never reach here
+  // because the rewrite below would change their semantics.  Guarded by
+  // the caller's choice of Old among pure defs; still, rewrite any
+  // self-use consistently.
+  for (InstrId UseId : UsesToRewrite) {
+    Instruction &Use = F.instr(UseId);
+    for (Reg &U : Use.uses())
+      if (U == Old)
+        U = Fresh;
+  }
+  return true;
+}

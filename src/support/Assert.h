@@ -1,0 +1,45 @@
+//===- support/Assert.h - Assertions and fatal errors ----------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers shared by all GIS libraries.  GIS_ASSERT is an assert
+/// that is kept in all build types (the library is a research artefact where
+/// internal-consistency failures must never be silently ignored), and
+/// gis_unreachable marks control flow that must not be reached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_ASSERT_H
+#define GIS_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gis {
+
+/// Prints a fatal-error diagnostic and aborts.  Used for broken invariants;
+/// recoverable conditions go through error returns instead.
+[[noreturn]] inline void fatalError(const char *File, int Line,
+                                    const char *Msg) {
+  std::fprintf(stderr, "%s:%d: fatal error: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace gis
+
+/// Always-on assertion with a mandatory message.
+#define GIS_ASSERT(Cond, Msg)                                                  \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::gis::fatalError(__FILE__, __LINE__, "assertion failed: " #Cond         \
+                                            " -- " Msg);                       \
+  } while (false)
+
+/// Marks a point in the code that must never execute.
+#define gis_unreachable(Msg) ::gis::fatalError(__FILE__, __LINE__, Msg)
+
+#endif // GIS_SUPPORT_ASSERT_H

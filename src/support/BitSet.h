@@ -1,0 +1,137 @@
+//===- support/BitSet.h - Dense dynamically-sized bit set ------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bit set over a fixed universe [0, size).  Used for reachability,
+/// liveness and dependence transitive-closure computations where the
+/// universe (blocks or instructions of one region) is small and known
+/// up front.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_BITSET_H
+#define GIS_SUPPORT_BITSET_H
+
+#include "support/Assert.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gis {
+
+/// Dense bit set with the usual set-algebra operations.  All binary
+/// operations require both operands to have the same universe size.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(unsigned Size)
+      : NumBits(Size), Words((Size + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  bool test(unsigned I) const {
+    GIS_ASSERT(I < NumBits, "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void set(unsigned I) {
+    GIS_ASSERT(I < NumBits, "bit index out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+
+  void reset(unsigned I) {
+    GIS_ASSERT(I < NumBits, "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Sets this to the union with \p RHS; returns true if this changed.
+  bool unionWith(const BitSet &RHS) {
+    GIS_ASSERT(NumBits == RHS.NumBits, "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Sets this to the intersection with \p RHS; returns true if changed.
+  bool intersectWith(const BitSet &RHS) {
+    GIS_ASSERT(NumBits == RHS.NumBits, "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Removes every bit that is set in \p RHS; returns true if changed.
+  bool subtract(const BitSet &RHS) {
+    GIS_ASSERT(NumBits == RHS.NumBits, "universe size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  bool anyCommon(const BitSet &RHS) const {
+    GIS_ASSERT(NumBits == RHS.NumBits, "universe size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & RHS.Words[I])
+        return true;
+    return false;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitSet &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+
+  /// Calls \p Fn for every set bit in ascending order.
+  template <typename CallableT> void forEach(CallableT Fn) const {
+    for (size_t WI = 0, E = Words.size(); WI != E; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<unsigned>(WI * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_BITSET_H

@@ -1,0 +1,38 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace gis;
+
+std::string gis::formatString(const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  std::va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string gis::padRight(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string gis::padLeft(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}

@@ -1,0 +1,33 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string-formatting helpers.  The toolchain used for this project has
+/// no std::format, so formatString wraps vsnprintf with std::string output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_FORMAT_H
+#define GIS_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace gis {
+
+/// Returns the printf-style formatting of the arguments as a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Pads \p S with spaces on the right up to \p Width columns.
+std::string padRight(const std::string &S, unsigned Width);
+
+/// Pads \p S with spaces on the left up to \p Width columns.
+std::string padLeft(const std::string &S, unsigned Width);
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_FORMAT_H

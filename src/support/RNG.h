@@ -1,0 +1,60 @@
+//===- support/RNG.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, explicitly-seeded SplitMix64 generator.  All randomized pieces
+/// of GIS (workload generators, property tests) draw from this so results
+/// are reproducible across platforms and standard-library versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_RNG_H
+#define GIS_SUPPORT_RNG_H
+
+#include "support/Assert.h"
+
+#include <cstdint>
+
+namespace gis {
+
+/// SplitMix64 pseudo-random generator with convenience range helpers.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound).  \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    GIS_ASSERT(Bound != 0, "nextBelow(0) is meaningless");
+    return next() % Bound;
+  }
+
+  /// Uniform value in the inclusive range [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    GIS_ASSERT(Lo <= Hi, "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_RNG_H

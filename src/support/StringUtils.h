@@ -1,0 +1,37 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers used by the IR printer/parser and the mini-C frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_STRINGUTILS_H
+#define GIS_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gis {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, dropping empty pieces when \p KeepEmpty is false.
+std::vector<std::string_view> split(std::string_view S, char Sep,
+                                    bool KeepEmpty = false);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// True if \p S ends with \p Suffix.
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_STRINGUTILS_H

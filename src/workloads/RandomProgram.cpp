@@ -1,0 +1,223 @@
+//===- workloads/RandomProgram.cpp - Random program generator --------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "support/Format.h"
+#include "support/RNG.h"
+
+#include <string>
+#include <vector>
+
+using namespace gis;
+
+namespace {
+
+/// Emits one function's body statement by statement.
+class FunctionEmitter {
+public:
+  FunctionEmitter(RNG &R, const RandomProgramOptions &Opts,
+                  const std::vector<std::string> &Callees, std::string &Out)
+      : R(R), Opts(Opts), Callees(Callees), Out(Out) {}
+
+  void emitBody(unsigned NumParams) {
+    Indent = 1;
+    // Declare the mutable scalar pool, seeding from parameters when
+    // available.
+    for (unsigned K = 0; K != Opts.NumScalars; ++K) {
+      if (K < NumParams)
+        line(formatString("int v%u = p%u;", K, K));
+      else
+        line(formatString("int v%u = %lld;", K,
+                          static_cast<long long>(R.range(-20, 20))));
+    }
+    unsigned Stmts = 4 + static_cast<unsigned>(
+                             R.nextBelow(Opts.MaxStmtsPerFunction - 3));
+    for (unsigned K = 0; K != Stmts; ++K)
+      emitStmt(1);
+    // Observable result: print the scalars and return a checksum.
+    for (unsigned K = 0; K != Opts.NumScalars; ++K)
+      line(formatString("print(v%u);", K));
+    std::string Sum = "v0";
+    for (unsigned K = 1; K != Opts.NumScalars; ++K)
+      Sum += formatString(" + v%u * %u", K, K + 1);
+    line("return " + Sum + ";");
+  }
+
+private:
+  void line(const std::string &S) {
+    Out += std::string(Indent * 2, ' ') + S + "\n";
+  }
+
+  std::string scalar() {
+    return formatString("v%u", static_cast<unsigned>(
+                                   R.nextBelow(Opts.NumScalars)));
+  }
+
+  std::string arrayName() { return R.chancePercent(50) ? "ga" : "gb"; }
+
+  /// An always-in-range subscript: a dedicated index variable that was
+  /// masked beforehand.  Emits the masking statements and returns the
+  /// index variable name.
+  std::string maskedIndex(const std::string &E) {
+    std::string Idx = formatString("ix%u", NextIndexVar++);
+    line(formatString("int %s = (%s) %% %u;", Idx.c_str(), E.c_str(),
+                      Opts.ArrayWords));
+    line(formatString("if (%s < 0) %s = 0 - %s;", Idx.c_str(), Idx.c_str(),
+                      Idx.c_str()));
+    return Idx;
+  }
+
+  /// A side-effect-free expression of bounded depth.
+  std::string expr(unsigned Depth) {
+    if (Depth >= Opts.MaxExprDepth || R.chancePercent(35)) {
+      // Leaf.
+      if (R.chancePercent(50))
+        return scalar();
+      return formatString("%lld", static_cast<long long>(R.range(-99, 99)));
+    }
+    switch (R.nextBelow(8)) {
+    case 0:
+      return "(" + expr(Depth + 1) + " + " + expr(Depth + 1) + ")";
+    case 1:
+      return "(" + expr(Depth + 1) + " - " + expr(Depth + 1) + ")";
+    case 2:
+      return "(" + expr(Depth + 1) + " * " +
+             formatString("%lld", static_cast<long long>(R.range(-9, 9))) +
+             ")";
+    case 3:
+      // Constant divisor: trap-free.
+      return "(" + expr(Depth + 1) +
+             formatString(" / %lld", static_cast<long long>(R.range(2, 9))) +
+             ")";
+    case 4:
+      return "(" + expr(Depth + 1) +
+             formatString(" %% %lld", static_cast<long long>(R.range(2, 9))) +
+             ")";
+    case 5:
+      return "(-" + expr(Depth + 1) + ")";
+    case 6:
+      return "(" + cond(Depth + 1) + ")"; // boolean as value
+    default:
+      return scalar();
+    }
+  }
+
+  /// A boolean condition of bounded depth.
+  std::string cond(unsigned Depth) {
+    if (Depth >= Opts.MaxExprDepth || R.chancePercent(50)) {
+      static const char *Rel[] = {"<", ">", "<=", ">=", "==", "!="};
+      return expr(Depth + 1) + " " + Rel[R.nextBelow(6)] + " " +
+             expr(Depth + 1);
+    }
+    switch (R.nextBelow(3)) {
+    case 0:
+      return "(" + cond(Depth + 1) + " && " + cond(Depth + 1) + ")";
+    case 1:
+      return "(" + cond(Depth + 1) + " || " + cond(Depth + 1) + ")";
+    default:
+      return "!(" + cond(Depth + 1) + ")";
+    }
+  }
+
+  void emitStmt(unsigned Depth) {
+    unsigned Choice = static_cast<unsigned>(R.nextBelow(100));
+
+    if (Choice < 30) {
+      // Scalar assignment.
+      line(scalar() + " = " + expr(0) + ";");
+      return;
+    }
+    if (Choice < 42) {
+      // Array store.
+      std::string Idx = maskedIndex(expr(1));
+      line(arrayName() + "[" + Idx + "] = " + expr(0) + ";");
+      return;
+    }
+    if (Choice < 54) {
+      // Array load into a scalar.
+      std::string Idx = maskedIndex(expr(1));
+      line(scalar() + " = " + arrayName() + "[" + Idx + "];");
+      return;
+    }
+    if (Choice < 72 && Depth < Opts.MaxBlockDepth) {
+      // if / if-else.
+      line("if (" + cond(0) + ") {");
+      ++Indent;
+      unsigned N = 1 + static_cast<unsigned>(R.nextBelow(3));
+      for (unsigned K = 0; K != N; ++K)
+        emitStmt(Depth + 1);
+      --Indent;
+      if (R.chancePercent(50)) {
+        line("} else {");
+        ++Indent;
+        unsigned M = 1 + static_cast<unsigned>(R.nextBelow(3));
+        for (unsigned K = 0; K != M; ++K)
+          emitStmt(Depth + 1);
+        --Indent;
+      }
+      line("}");
+      return;
+    }
+    if (Choice < 88 && Depth < Opts.MaxBlockDepth) {
+      // Counted loop with a dedicated counter variable.
+      std::string Counter = formatString("c%u", NextCounterVar++);
+      int64_t Trip = R.range(1, Opts.MaxLoopTrip);
+      line(formatString("int %s = 0;", Counter.c_str()));
+      line(formatString("while (%s < %lld) {", Counter.c_str(),
+                        static_cast<long long>(Trip)));
+      ++Indent;
+      unsigned N = 1 + static_cast<unsigned>(R.nextBelow(3));
+      for (unsigned K = 0; K != N; ++K)
+        emitStmt(Depth + 1);
+      line(formatString("%s = %s + 1;", Counter.c_str(), Counter.c_str()));
+      --Indent;
+      line("}");
+      return;
+    }
+    if (Choice < 94 && !Callees.empty()) {
+      // Helper call.
+      const std::string &Callee =
+          Callees[R.nextBelow(Callees.size())];
+      line(scalar() + " = " + Callee + "(" + expr(1) + ", " + expr(1) +
+           ");");
+      return;
+    }
+    // Print (observability).
+    line("print(" + expr(0) + ");");
+  }
+
+  RNG &R;
+  const RandomProgramOptions &Opts;
+  const std::vector<std::string> &Callees;
+  std::string &Out;
+  unsigned Indent = 0;
+  unsigned NextIndexVar = 0;
+  unsigned NextCounterVar = 0;
+};
+
+} // namespace
+
+std::string gis::generateRandomMiniC(uint64_t Seed,
+                                     const RandomProgramOptions &Opts) {
+  RNG R(Seed);
+  std::string Out;
+  Out += formatString("int ga[%u];\nint gb[%u];\n", Opts.ArrayWords,
+                      Opts.ArrayWords);
+
+  // Helpers form an acyclic call graph: helper K may call helpers < K.
+  std::vector<std::string> Defined;
+  for (unsigned H = 0; H != Opts.NumHelpers; ++H) {
+    std::string Name = formatString("helper%u", H);
+    Out += "int " + Name + "(int p0, int p1) {\n";
+    FunctionEmitter E(R, Opts, Defined, Out);
+    E.emitBody(/*NumParams=*/2);
+    Out += "}\n";
+    Defined.push_back(Name);
+  }
+
+  Out += "int main() {\n";
+  FunctionEmitter E(R, Opts, Defined, Out);
+  E.emitBody(/*NumParams=*/0);
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- workloads/RandomProgram.h - Random program generator -----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of random (but always terminating and trap-free)
+/// mini-C programs, used by property tests: whatever the generator emits,
+/// the scheduled program must behave exactly like the original.
+///
+/// Guarantees by construction:
+///  - loops are counted (`while (cN < bound)` with a dedicated counter
+///    that the body only increments), so every program terminates;
+///  - division and remainder use constant divisors in 2..9, so no traps;
+///  - array subscripts are masked through a non-negative remainder idiom,
+///    so all accesses stay inside the declared arrays;
+///  - helper-function calls form an acyclic call graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_WORKLOADS_RANDOMPROGRAM_H
+#define GIS_WORKLOADS_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace gis {
+
+/// Tuning knobs for the generator.
+struct RandomProgramOptions {
+  unsigned MaxStmtsPerFunction = 24;
+  unsigned MaxExprDepth = 3;
+  unsigned MaxBlockDepth = 3;
+  unsigned NumHelpers = 2;     ///< helper functions callable from main
+  unsigned NumScalars = 5;     ///< mutable scalar variables per function
+  unsigned ArrayWords = 16;    ///< size of each of the two global arrays
+  unsigned MaxLoopTrip = 12;   ///< upper bound for counted loops
+};
+
+/// Generates a self-contained mini-C program whose entry point is
+/// `int main()`; it prints several observable values and returns a
+/// checksum.  The same seed always yields the same program.
+std::string generateRandomMiniC(uint64_t Seed,
+                                const RandomProgramOptions &Opts = {});
+
+} // namespace gis
+
+#endif // GIS_WORKLOADS_RANDOMPROGRAM_H

@@ -1,0 +1,385 @@
+//===- tests/frontend_test.cpp - Mini-C frontend tests ---------------------===//
+//
+// Lexer, parser and code generator, culminating in the paper's Figure 1
+// minmax program compiled from C source and executed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CodeGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sched/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+/// Compiles and runs `main` with the given arguments.
+ExecResult compileAndRun(const char *Source, std::vector<int64_t> Args = {},
+                         std::function<void(Interpreter &)> Setup = nullptr) {
+  auto M = compileMiniCOrDie(Source);
+  Function *Main = M->findFunction("main");
+  EXPECT_NE(Main, nullptr);
+  Interpreter I(*M);
+  EXPECT_EQ(Args.size(), Main->params().size());
+  for (size_t K = 0; K != Args.size(); ++K)
+    I.setReg(Main->params()[K], Args[K]);
+  if (Setup)
+    Setup(I);
+  ExecResult R = I.run(*Main);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Lexer
+//===----------------------------------------------------------------------===
+
+TEST(LexerTest, TokensAndLines) {
+  LexResult R = lexMiniC("int x = 42;\nwhile (x >= 0) { x = x - 1; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_GE(R.Tokens.size(), 10u);
+  EXPECT_EQ(R.Tokens[0].Kind, TokKind::KwInt);
+  EXPECT_EQ(R.Tokens[1].Kind, TokKind::Identifier);
+  EXPECT_EQ(R.Tokens[1].Text, "x");
+  EXPECT_EQ(R.Tokens[2].Kind, TokKind::Assign);
+  EXPECT_EQ(R.Tokens[3].Kind, TokKind::Number);
+  EXPECT_EQ(R.Tokens[3].Value, 42);
+  EXPECT_EQ(R.Tokens[5].Kind, TokKind::KwWhile);
+  EXPECT_EQ(R.Tokens[5].Line, 2);
+  // >= lexes as one token.
+  bool SawGe = false;
+  for (const Token &T : R.Tokens)
+    SawGe |= T.Kind == TokKind::Ge;
+  EXPECT_TRUE(SawGe);
+}
+
+TEST(LexerTest, Comments) {
+  LexResult R = lexMiniC("int a; // line comment\n/* block\ncomment */ int b;");
+  ASSERT_TRUE(R.ok());
+  unsigned Ints = 0;
+  for (const Token &T : R.Tokens)
+    Ints += T.Kind == TokKind::KwInt;
+  EXPECT_EQ(Ints, 2u);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(lexMiniC("int a @ b;").ok());
+  EXPECT_FALSE(lexMiniC("a & b").ok());
+  EXPECT_FALSE(lexMiniC("/* unterminated").ok());
+}
+
+//===----------------------------------------------------------------------===
+// Parser
+//===----------------------------------------------------------------------===
+
+TEST(MiniCParserTest, FunctionAndGlobals) {
+  MiniCParseResult R = parseMiniC(R"(
+int a[100];
+int addmul(int x, int y) {
+  return x + y * 2;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.Line;
+  ASSERT_EQ(R.Prog->GlobalArrays.size(), 1u);
+  EXPECT_EQ(R.Prog->GlobalArrays[0].first, "a");
+  EXPECT_EQ(R.Prog->GlobalArrays[0].second, 100);
+  ASSERT_EQ(R.Prog->Functions.size(), 1u);
+  const FuncDecl &F = R.Prog->Functions[0];
+  EXPECT_EQ(F.Name, "addmul");
+  ASSERT_EQ(F.Params.size(), 2u);
+  EXPECT_EQ(F.Params[1], "y");
+  // Body: one return whose value is x + (y * 2) (precedence).
+  ASSERT_EQ(F.Body->Body.size(), 1u);
+  const Stmt &Ret = *F.Body->Body[0];
+  EXPECT_EQ(Ret.Kind, StmtKind::Return);
+  EXPECT_EQ(Ret.Value->BOp, BinOp::Add);
+  EXPECT_EQ(Ret.Value->Rhs->BOp, BinOp::Mul);
+}
+
+TEST(MiniCParserTest, StatementForms) {
+  MiniCParseResult R = parseMiniC(R"(
+int f(int n) {
+  int i;
+  int acc = 0;
+  int buf[8];
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) { acc = acc + i; } else acc = acc - 1;
+    buf[i % 8] = acc;
+    if (acc > 100) break;
+    while (acc < 0) { acc = acc + 3; continue; }
+  }
+  print(acc);
+  return acc;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.Line;
+}
+
+TEST(MiniCParserTest, Diagnostics) {
+  MiniCParseResult R = parseMiniC("int f( { }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_GT(R.Line, 0);
+
+  EXPECT_FALSE(parseMiniC("int f() { return 1 }").ok());  // missing ';'
+  EXPECT_FALSE(parseMiniC("int f() { x = ; }").ok());     // missing expr
+  EXPECT_FALSE(parseMiniC("f() {}").ok());                // missing 'int'
+}
+
+//===----------------------------------------------------------------------===
+// Code generation + execution
+//===----------------------------------------------------------------------===
+
+TEST(CodeGenTest, ArithmeticAndPrecedence) {
+  ExecResult R = compileAndRun(R"(
+int main() {
+  return 2 + 3 * 4 - 10 / 2 - 7 % 3;
+}
+)");
+  EXPECT_EQ(R.ReturnValue, 2 + 12 - 5 - 1);
+}
+
+TEST(CodeGenTest, UnaryOperators) {
+  ExecResult R = compileAndRun(R"(
+int main() {
+  int a = -5;
+  int b = !0;
+  int c = !7;
+  return a + b * 10 + c;
+}
+)");
+  EXPECT_EQ(R.ReturnValue, -5 + 10 + 0);
+}
+
+TEST(CodeGenTest, ComparisonsAsValues) {
+  ExecResult R = compileAndRun(R"(
+int main() {
+  int t = 3 < 5;
+  int f = 3 > 5;
+  int e = 4 == 4;
+  int n = 4 != 4;
+  int le = 4 <= 4;
+  int ge = 3 >= 4;
+  return t * 100000 + f * 10000 + e * 1000 + n * 100 + le * 10 + ge;
+}
+)");
+  EXPECT_EQ(R.ReturnValue, 100000 + 0 + 1000 + 0 + 10 + 0);
+}
+
+TEST(CodeGenTest, ShortCircuitEvaluation) {
+  // The right operand of && must not execute when the left is false:
+  // here it would trap with division by zero.
+  ExecResult R = compileAndRun(R"(
+int main(int x) {
+  if (x != 0 && 10 / x > 2) {
+    return 1;
+  }
+  return 0;
+}
+)",
+                               {0});
+  EXPECT_EQ(R.ReturnValue, 0);
+
+  ExecResult R2 = compileAndRun(R"(
+int main(int x) {
+  if (x == 0 || 10 / x > 2) {
+    return 1;
+  }
+  return 0;
+}
+)",
+                                {0});
+  EXPECT_EQ(R2.ReturnValue, 1);
+}
+
+TEST(CodeGenTest, WhileAndFor) {
+  ExecResult R = compileAndRun(R"(
+int main(int n) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  for (i = 0; i < n; i = i + 1) acc = acc + 1;
+  return acc;
+}
+)",
+                               {10});
+  EXPECT_EQ(R.ReturnValue, 45 + 10);
+}
+
+TEST(CodeGenTest, BreakAndContinue) {
+  ExecResult R = compileAndRun(R"(
+int main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) continue;
+    if (i > 10) break;
+    acc = acc + i;   /* 1 + 3 + 5 + 7 + 9 */
+  }
+  return acc;
+}
+)");
+  EXPECT_EQ(R.ReturnValue, 25);
+}
+
+TEST(CodeGenTest, ArraysLocalAndGlobal) {
+  ExecResult R = compileAndRun(R"(
+int g[16];
+int main() {
+  int loc[8];
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    loc[i] = i * i;
+    g[i] = loc[i] + 1;
+  }
+  return g[7] + loc[3];
+}
+)");
+  EXPECT_EQ(R.ReturnValue, 50 + 9);
+}
+
+TEST(CodeGenTest, FunctionCalls) {
+  ExecResult R = compileAndRun(R"(
+int square(int x) { return x * x; }
+int twice(int x) { return x + x; }
+int main(int n) {
+  return square(twice(n)) + twice(square(n));
+}
+)",
+                               {3});
+  EXPECT_EQ(R.ReturnValue, 36 + 18);
+}
+
+TEST(CodeGenTest, RecursionWorks) {
+  ExecResult R = compileAndRun(R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)");
+  EXPECT_EQ(R.ReturnValue, 144);
+}
+
+TEST(CodeGenTest, PrintBuiltin) {
+  ExecResult R = compileAndRun(R"(
+int main() {
+  int i;
+  for (i = 0; i < 3; i = i + 1) print(i * 10);
+  return 0;
+}
+)");
+  ASSERT_EQ(R.Printed.size(), 3u);
+  EXPECT_EQ(R.Printed[0], 0);
+  EXPECT_EQ(R.Printed[1], 10);
+  EXPECT_EQ(R.Printed[2], 20);
+}
+
+TEST(CodeGenTest, SemanticErrors) {
+  EXPECT_FALSE(compileMiniC("int main() { return y; }").ok());
+  EXPECT_FALSE(compileMiniC("int main() { int x; int x; return 0; }").ok());
+  EXPECT_FALSE(compileMiniC("int main() { break; }").ok());
+  EXPECT_FALSE(compileMiniC("int a[4]; int main() { return a; }").ok());
+  EXPECT_FALSE(compileMiniC("int main() { int x; return x[0]; }").ok());
+}
+
+TEST(CodeGenTest, GeneratedIRIsWellFormed) {
+  auto M = compileMiniCOrDie(R"(
+int f(int a, int b) {
+  int c = a;
+  while (a > 0 && b > 0) {
+    if (a > b) a = a - b; else b = b - a;
+  }
+  return a + b + c;
+}
+)");
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+//===----------------------------------------------------------------------===
+// Figure 1: the paper's minmax program, from C source
+//===----------------------------------------------------------------------===
+
+namespace {
+
+// Figure 1 of the paper, adapted to mini-C (declarations split, the
+// array passed via a global, print instead of printf).
+const char *MinmaxSource = R"(
+int a[64];
+int minmax(int n) {
+  int i;
+  int u;
+  int v;
+  int min = a[0];
+  int max = min;
+  i = 1;
+  while (i < n) {
+    u = a[i];
+    v = a[i + 1];
+    if (u > v) {
+      if (u > max) max = u;
+      if (v < min) min = v;
+    }
+    else {
+      if (v > max) max = v;
+      if (u < min) min = u;
+    }
+    i = i + 2;
+  }
+  print(min);
+  print(max);
+  return 0;
+}
+)";
+
+} // namespace
+
+TEST(CodeGenTest, MinmaxFigure1FromSource) {
+  auto M = compileMiniCOrDie(MinmaxSource);
+  Function *F = M->findFunction("minmax");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyModule(*M).empty());
+
+  int64_t Base = M->globals()[0].Address;
+  Interpreter I(*M);
+  int64_t A[] = {5, 3, 9, -2, 7, 7, 0, 100, -50, 6};
+  for (int K = 0; K != 10; ++K)
+    I.storeWord(Base + 4 * K, A[K]);
+  I.setReg(F->params()[0], 9);
+  ExecResult R = I.run(*F);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.Printed.size(), 2u);
+  EXPECT_EQ(R.Printed[0], -50);
+  EXPECT_EQ(R.Printed[1], 100);
+}
+
+TEST(CodeGenTest, MinmaxSchedulesAndStaysCorrect) {
+  auto M = compileMiniCOrDie(MinmaxSource);
+  Function *F = M->findFunction("minmax");
+  PipelineOptions Opts;
+  PipelineStats Stats = schedulePipeline(*F, MachineDescription::rs6k(), Opts);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_GT(Stats.Global.UsefulMotions + Stats.Global.SpeculativeMotions, 0u);
+
+  int64_t Base = M->globals()[0].Address;
+  Interpreter I(*M);
+  int64_t A[] = {5, 3, 9, -2, 7, 7, 0, 100, -50, 6};
+  for (int K = 0; K != 10; ++K)
+    I.storeWord(Base + 4 * K, A[K]);
+  I.setReg(F->params()[0], 9);
+  ExecResult R = I.run(*F);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.Printed.size(), 2u);
+  EXPECT_EQ(R.Printed[0], -50);
+  EXPECT_EQ(R.Printed[1], 100);
+}

@@ -1,0 +1,123 @@
+//===- tests/graphviz_test.cpp - DOT rendering tests ------------------------===//
+
+#include "analysis/GraphViz.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+const char *Diamond = R"(
+func f {
+ENTRY:
+  C cr0 = r1, r2
+  BF ELSE_, cr0, gt
+THEN_:
+  LI r3 = 1
+  B JOIN
+ELSE_:
+  LI r3 = 2
+JOIN:
+  RET r3
+}
+)";
+
+/// Counts occurrences of \p Needle in \p Hay.
+unsigned countOf(const std::string &Hay, const std::string &Needle) {
+  unsigned N = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + 1))
+    ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(GraphVizTest, CFGDotStructure) {
+  auto M = parseModuleOrDie(Diamond);
+  std::string Dot = cfgToDot(*M->functions()[0]);
+  EXPECT_NE(Dot.find("digraph cfg"), std::string::npos);
+  // Four labelled nodes, four edges (2 from ENTRY, 1 each from the arms).
+  EXPECT_NE(Dot.find("ENTRY"), std::string::npos);
+  EXPECT_NE(Dot.find("JOIN"), std::string::npos);
+  EXPECT_EQ(countOf(Dot, "->"), 4u);
+  EXPECT_NE(Dot.find("taken"), std::string::npos);
+  EXPECT_NE(Dot.find("fall"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(countOf(Dot, "{"), countOf(Dot, "}"));
+}
+
+TEST(GraphVizTest, CSPDGDotHasEquivalenceEdges) {
+  auto M = parseModuleOrDie(Diamond);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, -1);
+  PDG P = PDG::build(F, R, MachineDescription::rs6k());
+  std::string Dot = cspdgToDot(F, P);
+  EXPECT_NE(Dot.find("digraph cspdg"), std::string::npos);
+  // The arms are control dependent on ENTRY: two solid edges at least.
+  EXPECT_GE(countOf(Dot, "->"), 2u);
+  // ENTRY and JOIN are equivalent: one dashed edge.
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(countOf(Dot, "{"), countOf(Dot, "}"));
+}
+
+TEST(GraphVizTest, DDGDotClustersAndEdges) {
+  auto M = parseModuleOrDie(Diamond);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, -1);
+  PDG P = PDG::build(F, R, MachineDescription::rs6k());
+  std::string Dot = ddgToDot(F, P);
+  EXPECT_NE(Dot.find("digraph ddg"), std::string::npos);
+  // One cluster per block.
+  EXPECT_EQ(countOf(Dot, "subgraph cluster_"), 4u);
+  // The compare -> branch flow edge with its 3-cycle delay is labelled.
+  EXPECT_NE(Dot.find("flow/3"), std::string::npos);
+  EXPECT_EQ(countOf(Dot, "{"), countOf(Dot, "}"));
+}
+
+TEST(GraphVizTest, LabelsAreEscaped) {
+  // Instruction text contains no quotes today, but comments could; make
+  // sure a label with special characters survives.
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 1 ; say "hi" \ there
+  RET r1
+}
+)");
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, -1);
+  PDG P = PDG::build(F, R, MachineDescription::rs6k());
+  std::string Dot = ddgToDot(F, P);
+  // The quote inside the comment is escaped.
+  EXPECT_NE(Dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(GraphVizTest, BarrierNodesRendered) {
+  auto M = parseModuleOrDie(R"(
+func f {
+PRE:
+  LI r1 = 0
+LOOP:
+  AI r1 = r1, 1
+  C cr0 = r1, r9
+  BT LOOP, cr0, lt
+POST:
+  RET r1
+}
+)");
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, -1); // top level: loop collapsed
+  PDG P = PDG::build(F, R, MachineDescription::rs6k());
+  std::string Dot = ddgToDot(F, P);
+  EXPECT_NE(Dot.find("(inner loop barrier)"), std::string::npos);
+  std::string CDot = cspdgToDot(F, P);
+  EXPECT_NE(CDot.find("loop#0"), std::string::npos);
+}

@@ -1,0 +1,384 @@
+//===- tests/interp_test.cpp - Interpreter unit tests ----------------------===//
+//
+// Executable-semantics checks: arithmetic, memory, control flow, traps,
+// builtins, tracing, and an end-to-end run of the paper's minmax loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Text) {
+  return parseModuleOrDie(Text);
+}
+
+} // namespace
+
+TEST(InterpTest, ArithmeticBasics) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 6
+  LI r2 = 7
+  MUL r3 = r1, r2
+  AI r4 = r3, -2
+  S r5 = r4, r1
+  RET r5
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_TRUE(R.HasReturnValue);
+  EXPECT_EQ(R.ReturnValue, 6 * 7 - 2 - 6);
+}
+
+TEST(InterpTest, BitwiseAndShifts) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 12
+  LI r2 = 10
+  AND r3 = r1, r2
+  OR r4 = r1, r2
+  XOR r5 = r1, r2
+  SL r6 = r1, 2
+  SR r7 = r1, 1
+  NEG r8 = r1
+  A r9 = r3, r4
+  A r9 = r9, r5
+  A r9 = r9, r6
+  A r9 = r9, r7
+  A r9 = r9, r8
+  RET r9
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, (12 & 10) + (12 | 10) + (12 ^ 10) + (12 << 2) +
+                               (12 >> 1) + (-12));
+}
+
+TEST(InterpTest, DivisionAndRemainder) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 17
+  LI r2 = 5
+  DIV r3 = r1, r2
+  REM r4 = r1, r2
+  MUL r5 = r3, r2
+  A r5 = r5, r4
+  RET r5
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 17);
+}
+
+TEST(InterpTest, DivisionByZeroTraps) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 17
+  LI r2 = 0
+  DIV r3 = r1, r2
+  RET r3
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapReason.find("zero"), std::string::npos);
+}
+
+TEST(InterpTest, MemoryAndLoadUpdate) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 100
+  LI r2 = 11
+  ST mem[r1 + 4] = r2
+  LI r3 = 22
+  ST mem[r1 + 8] = r3
+  LI r10 = 100
+  L r4 = mem[r10 + 4]
+  LU r5, r10 = mem[r10 + 8]
+  A r6 = r4, r5
+  RET r6
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 33);
+  // LU must have updated the base register.
+  EXPECT_EQ(I.reg(Reg::gpr(10)), 108);
+}
+
+TEST(InterpTest, StoreUpdate) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 200
+  LI r2 = 5
+  STU mem[r1 + 8] = r2
+  RET r1
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 208);
+  EXPECT_EQ(I.loadWord(208), 5);
+}
+
+TEST(InterpTest, CompareAndBranches) {
+  // Computes max(a, b) with a branch.
+  auto M = parse(R"(
+func maxf {
+B0:
+  C cr0 = r1, r2
+  BF B2, cr0, gt
+B1:
+  RET r1
+B2:
+  RET r2
+}
+)");
+  Interpreter I(*M);
+  I.setReg(Reg::gpr(1), 10);
+  I.setReg(Reg::gpr(2), 3);
+  ExecResult R = I.run(*M->functions()[0]);
+  EXPECT_EQ(R.ReturnValue, 10);
+
+  Interpreter I2(*M);
+  I2.setReg(Reg::gpr(1), 3);
+  I2.setReg(Reg::gpr(2), 10);
+  ExecResult R2 = I2.run(*M->functions()[0]);
+  EXPECT_EQ(R2.ReturnValue, 10);
+}
+
+TEST(InterpTest, ConditionBitsEncodeThreeWay) {
+  EXPECT_EQ(crCompare(1, 2), CRLt);
+  EXPECT_EQ(crCompare(2, 1), CRGt);
+  EXPECT_EQ(crCompare(2, 2), CREq);
+}
+
+TEST(InterpTest, LoopSumsArray) {
+  auto M = parse(R"(
+func sum {
+B0:
+  LI r1 = 1000      ; base
+  LI r2 = 0         ; i
+  LI r3 = 0         ; acc
+  LI r4 = 10        ; n
+B1:
+  SL r5 = r2, 2
+  A r6 = r1, r5
+  L r7 = mem[r6 + 0]
+  A r3 = r3, r7
+  AI r2 = r2, 1
+  C cr0 = r2, r4
+  BT B1, cr0, lt
+B2:
+  RET r3
+}
+)");
+  Interpreter I(*M);
+  for (int K = 0; K != 10; ++K)
+    I.storeWord(1000 + 4 * K, K + 1);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ReturnValue, 55);
+  // Block counts: loop body executed 10 times.
+  EXPECT_EQ(I.blockCounts()[1], 10u);
+  EXPECT_EQ(I.blockCounts()[0], 1u);
+  EXPECT_EQ(I.blockCounts()[2], 1u);
+}
+
+TEST(InterpTest, PrintBuiltinRecordsValues) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 41
+  AI r2 = r1, 1
+  CALL print(r2)
+  CALL print(r1)
+  RET
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  ASSERT_EQ(R.Printed.size(), 2u);
+  EXPECT_EQ(R.Printed[0], 42);
+  EXPECT_EQ(R.Printed[1], 41);
+}
+
+TEST(InterpTest, CustomBuiltin) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 5
+  CALL r2 = twice(r1)
+  RET r2
+}
+)");
+  Interpreter I(*M);
+  I.registerBuiltin("twice", [](const std::vector<int64_t> &Args) {
+    return Args.at(0) * 2;
+  });
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 10);
+}
+
+TEST(InterpTest, UnknownCalleeTraps) {
+  auto M = parse(R"(
+func f {
+B0:
+  CALL mystery()
+  RET
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpTest, StepBudgetTraps) {
+  auto M = parse(R"(
+func f {
+B0:
+  B B0
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0], 1000);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapReason.find("budget"), std::string::npos);
+}
+
+TEST(InterpTest, TraceRecordsDynamicOrder) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 2
+  CI cr0 = r1, 5
+  BT B2, cr0, lt
+B1:
+  NOP
+B2:
+  RET r1
+}
+)");
+  Interpreter I(*M);
+  I.enableTrace(true);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  // LI, CI, BT (taken), RET — B1's NOP skipped.
+  ASSERT_EQ(I.trace().size(), 4u);
+  const Function &F = *M->functions()[0];
+  EXPECT_EQ(F.instr(I.trace()[0].Instr).opcode(), Opcode::LI);
+  EXPECT_EQ(F.instr(I.trace()[3].Instr).opcode(), Opcode::RET);
+  EXPECT_EQ(I.trace()[0].Fn, &F);
+}
+
+TEST(InterpTest, FloatingPoint) {
+  auto M = parse(R"(
+func f {
+B0:
+  LI r1 = 300
+  LI r2 = 3
+  ST mem[r1 + 0] = r2
+  LI r3 = 4
+  ST mem[r1 + 4] = r3
+  LF f1 = mem[r1 + 0]
+  LF f2 = mem[r1 + 4]
+  FM f3 = f1, f2
+  FA f4 = f3, f1
+  STF mem[r1 + 8] = f4
+  L r4 = mem[r1 + 8]
+  RET r4
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->functions()[0]);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue, 3 * 4 + 3);
+}
+
+// End-to-end: the paper's Figure 2 loop over real data.
+TEST(InterpTest, MinmaxFigure2) {
+  auto M = parse(R"(
+func minmax {
+BL0:
+  LI r31 = 1000     ; &a[0]; the loop reads a[i] at r31 + 4
+  L r28 = mem[r31 + 0]  ; min = a[0]
+  LR r30 = r28          ; max = a[0]
+  LI r29 = 1            ; i = 1
+  C cr4 = r29, r27      ; i < n
+  BF BL11, cr4, lt
+BL1:
+  L r12 = mem[r31 + 4]
+  LU r0, r31 = mem[r31 + 8]
+  C cr7 = r12, r0
+  BF BL6, cr7, gt
+BL2:
+  C cr6 = r12, r30
+  BF BL4, cr6, gt
+BL3:
+  LR r30 = r12
+BL4:
+  C cr7 = r0, r28
+  BF BL10, cr7, lt
+BL5:
+  LR r28 = r0
+  B BL10
+BL6:
+  C cr6 = r0, r30
+  BF BL8, cr6, gt
+BL7:
+  LR r30 = r0
+BL8:
+  C cr7 = r12, r28
+  BF BL10, cr7, lt
+BL9:
+  LR r28 = r12
+BL10:
+  AI r29 = r29, 2
+  C cr4 = r29, r27
+  BT BL1, cr4, lt
+BL11:
+  CALL print(r28)
+  CALL print(r30)
+  RET
+}
+)");
+  const Function &F = *M->functions()[0];
+
+  Interpreter I(*M);
+  // a = {5, 3, 9, -2, 7, 7, 0, 100, -50, 6}, n = 10 (n - 1 even so the
+  // pairwise loop covers the whole array).
+  int64_t A[] = {5, 3, 9, -2, 7, 7, 0, 100, -50, 6};
+  // a[k] lives at 1000 + 4*k; the loop reads a[i] at r31 + 4 with r31
+  // starting at &a[0] and advancing by 8 per pairwise iteration.
+  for (int K = 0; K != 10; ++K)
+    I.storeWord(1000 + 4 * K, A[K]);
+  I.setReg(Reg::gpr(27), 9); // n - 1: loop while i < 9
+  ExecResult R = I.run(F);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.Printed.size(), 2u);
+  EXPECT_EQ(R.Printed[0], -50); // min
+  EXPECT_EQ(R.Printed[1], 100); // max
+}

@@ -1,0 +1,447 @@
+//===- tests/machine_test.cpp - Machine model and timing tests ------------===//
+//
+// Validates the parametric machine description (paper Section 2.1) and
+// calibrates the timing simulator against the paper's hand cycle counts:
+// the minmax loop of Figure 2 runs in 20-22 cycles/iteration, the
+// usefully-scheduled Figure 5 in 12-13, and the speculative Figure 6 in
+// 11-12.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "machine/MachineDescription.h"
+#include "machine/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+TEST(MachineTest, RS6KUnits) {
+  MachineDescription MD = MachineDescription::rs6k();
+  EXPECT_EQ(MD.numUnitTypes(), 3u);
+  EXPECT_EQ(MD.unitType(0).Count, 1u);
+  EXPECT_EQ(MD.unitType(1).Count, 1u);
+  EXPECT_EQ(MD.unitType(2).Count, 1u);
+  EXPECT_EQ(MD.totalUnits(), 3u);
+
+  // Unit assignment.
+  EXPECT_EQ(MD.unitTypeForOp(Opcode::A), MD.unitTypeForOp(Opcode::L));
+  EXPECT_EQ(MD.unitTypeForOp(Opcode::FA), MD.unitTypeForOp(Opcode::FC));
+  EXPECT_NE(MD.unitTypeForOp(Opcode::A), MD.unitTypeForOp(Opcode::B));
+  EXPECT_NE(MD.unitTypeForOp(Opcode::FA), MD.unitTypeForOp(Opcode::A));
+  // Compares execute in the fixed-point unit.
+  EXPECT_EQ(MD.unitTypeForOp(Opcode::C), MD.unitTypeForOp(Opcode::A));
+
+  // Execution times.
+  EXPECT_EQ(MD.execTime(Opcode::A), 1u);
+  EXPECT_EQ(MD.execTime(Opcode::L), 1u);
+  EXPECT_GT(MD.execTime(Opcode::MUL), 1u);
+  EXPECT_GT(MD.execTime(Opcode::DIV), MD.execTime(Opcode::MUL));
+}
+
+TEST(MachineTest, RS6KDelayRules) {
+  MachineDescription MD = MachineDescription::rs6k();
+  // Delayed load: 1 cycle to any consumer.
+  EXPECT_EQ(MD.flowDelay(Opcode::L, Opcode::A), 1u);
+  EXPECT_EQ(MD.flowDelay(Opcode::LU, Opcode::C), 1u);
+  EXPECT_EQ(MD.flowDelay(Opcode::LF, Opcode::FA), 1u);
+  // Fixed compare -> branch: 3 cycles; to non-branches: none.
+  EXPECT_EQ(MD.flowDelay(Opcode::C, Opcode::BT), 3u);
+  EXPECT_EQ(MD.flowDelay(Opcode::CI, Opcode::BF), 3u);
+  EXPECT_EQ(MD.flowDelay(Opcode::C, Opcode::A), 0u);
+  // Float arithmetic: 1 cycle to any consumer.
+  EXPECT_EQ(MD.flowDelay(Opcode::FA, Opcode::FM), 1u);
+  // Float compare -> branch: 5 cycles.
+  EXPECT_EQ(MD.flowDelay(Opcode::FC, Opcode::BT), 5u);
+  // No delay between plain fixed-point ops.
+  EXPECT_EQ(MD.flowDelay(Opcode::A, Opcode::S), 0u);
+}
+
+TEST(MachineTest, SuperscalarFactory) {
+  MachineDescription MD = MachineDescription::superscalar(2, 1, 1);
+  EXPECT_EQ(MD.unitType(0).Count, 2u);
+  EXPECT_EQ(MD.totalUnits(), 4u);
+}
+
+namespace {
+
+/// Positions in \p Trace where the instruction has opcode \p Op.
+std::vector<size_t> markerPositions(const Function &F,
+                                    const std::vector<TraceEntry> &Trace,
+                                    Opcode Op) {
+  std::vector<size_t> Out;
+  for (size_t K = 0; K != Trace.size(); ++K)
+    if (F.instr(Trace[K].Instr).opcode() == Op)
+      Out.push_back(K);
+  return Out;
+}
+
+} // namespace
+
+TEST(TimingTest, SerialFixedPointChain) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 1
+  AI r2 = r1, 1
+  AI r3 = r2, 1
+  RET r3
+}
+)");
+  const Function &F = *M->functions()[0];
+  Interpreter I(*M);
+  I.enableTrace(true);
+  I.run(F);
+  MachineDescription MD = MachineDescription::rs6k();
+  TimingSimulator Sim(MD);
+  Sim.recordIssueTimes(true);
+  TimingResult T = Sim.simulate(I.trace());
+  // One fixed-point unit, 1-cycle ops, no delays: issue at 0,1,2; RET
+  // reads r3, which completes at 3, so it issues at 3 on the branch unit.
+  ASSERT_EQ(T.IssueTimes.size(), 4u);
+  EXPECT_EQ(T.IssueTimes[0], 0u);
+  EXPECT_EQ(T.IssueTimes[1], 1u);
+  EXPECT_EQ(T.IssueTimes[2], 2u);
+  EXPECT_EQ(T.IssueTimes[3], 3u);
+}
+
+TEST(TimingTest, DelayedLoadStallsConsumer) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 100
+  L r2 = mem[r1 + 0]
+  AI r3 = r2, 1
+  RET r3
+}
+)");
+  const Function &F = *M->functions()[0];
+  Interpreter I(*M);
+  I.enableTrace(true);
+  I.run(F);
+  TimingSimulator Sim(MachineDescription::rs6k());
+  Sim.recordIssueTimes(true);
+  TimingResult T = Sim.simulate(I.trace());
+  // LI@0, L@1 (completes at 2), AI waits 2+1(load delay)=3.
+  EXPECT_EQ(T.IssueTimes[0], 0u);
+  EXPECT_EQ(T.IssueTimes[1], 1u);
+  EXPECT_EQ(T.IssueTimes[2], 3u);
+}
+
+TEST(TimingTest, CompareBranchDelay) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 1
+  CI cr0 = r1, 0
+  BT B1, cr0, gt
+B0b:
+  NOP
+B1:
+  RET
+}
+)");
+  const Function &F = *M->functions()[0];
+  Interpreter I(*M);
+  I.enableTrace(true);
+  I.run(F);
+  TimingSimulator Sim(MachineDescription::rs6k());
+  Sim.recordIssueTimes(true);
+  TimingResult T = Sim.simulate(I.trace());
+  // LI@0, CI@1 (completes 2), BT waits 2+3=5.
+  EXPECT_EQ(T.IssueTimes[1], 1u);
+  EXPECT_EQ(T.IssueTimes[2], 5u);
+}
+
+TEST(TimingTest, IndependentOpsDualIssueAcrossUnits) {
+  // A fixed-point op and a branch can issue in the same cycle.
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 1
+  B B1
+B1:
+  RET r1
+}
+)");
+  const Function &F = *M->functions()[0];
+  Interpreter I(*M);
+  I.enableTrace(true);
+  I.run(F);
+  TimingSimulator Sim(MachineDescription::rs6k());
+  Sim.recordIssueTimes(true);
+  TimingResult T = Sim.simulate(I.trace());
+  EXPECT_EQ(T.IssueTimes[0], 0u);
+  EXPECT_EQ(T.IssueTimes[1], 0u); // branch unit, same cycle
+}
+
+TEST(TimingTest, MultiCycleOpOccupiesUnit) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 6
+  LI r2 = 7
+  MUL r3 = r1, r2
+  LI r4 = 9
+  RET r3
+}
+)");
+  const Function &F = *M->functions()[0];
+  Interpreter I(*M);
+  I.enableTrace(true);
+  I.run(F);
+  MachineDescription MD = MachineDescription::rs6k();
+  TimingSimulator Sim(MD);
+  Sim.recordIssueTimes(true);
+  TimingResult T = Sim.simulate(I.trace());
+  // MUL@2 occupies the single fixed unit for its full latency, stalling
+  // the next (independent) fixed-point op.
+  uint64_t MulLatency = MD.execTime(Opcode::MUL);
+  EXPECT_EQ(T.IssueTimes[2], 2u);
+  EXPECT_EQ(T.IssueTimes[3], 2 + MulLatency);
+}
+
+TEST(TimingTest, WiderMachineIssuesInParallel) {
+  const char *Text = R"(
+func f {
+B0:
+  LI r1 = 1
+  LI r2 = 2
+  LI r3 = 3
+  LI r4 = 4
+  RET r1
+}
+)";
+  auto M = parseModuleOrDie(Text);
+  const Function &F = *M->functions()[0];
+  Interpreter I(*M);
+  I.enableTrace(true);
+  I.run(F);
+
+  TimingSimulator Narrow(MachineDescription::rs6k());
+  TimingResult TN = Narrow.simulate(I.trace());
+
+  MachineDescription Wide = MachineDescription::superscalar(4, 1, 1);
+  TimingSimulator WideSim(Wide);
+  TimingResult TW = WideSim.simulate(I.trace());
+
+  EXPECT_LT(TW.Cycles, TN.Cycles);
+}
+
+//===----------------------------------------------------------------------===
+// Paper calibration: Figures 2, 5 and 6.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+// Figure 2: the original (unscheduled) loop.  Block names: CL.4 -> BL6,
+// CL.6 -> BL4, CL.9 -> BL10, CL.11 -> BL8, CL.0 -> BL1 per the paper's
+// basic-block numbering.
+const char *Fig2Loop = R"(
+func minmax2 {
+BL0:
+  LI r31 = 1000
+  L r28 = mem[r31 + 0]
+  LR r30 = r28
+  LI r29 = 1
+BL1:
+  I1: L r12 = mem[r31 + 4]
+  I2: LU r0, r31 = mem[r31 + 8]
+  I3: C cr7 = r12, r0
+  I4: BF BL6, cr7, gt
+BL2:
+  I5: C cr6 = r12, r30
+  I6: BF BL4, cr6, gt
+BL3:
+  I7: LR r30 = r12
+BL4:
+  I8: C cr7 = r0, r28
+  I9: BF BL10, cr7, lt
+BL5:
+  I10: LR r28 = r0
+  I11: B BL10
+BL6:
+  I12: C cr6 = r0, r30
+  I13: BF BL8, cr6, gt
+BL7:
+  I14: LR r30 = r0
+BL8:
+  I15: C cr7 = r12, r28
+  I16: BF BL10, cr7, lt
+BL9:
+  I17: LR r28 = r12
+BL10:
+  I18: AI r29 = r29, 2
+  I19: C cr4 = r29, r27
+  I20: BT BL1, cr4, lt
+BL11:
+  RET
+}
+)";
+
+// Figure 5: the result of useful-only global scheduling, transcribed from
+// the paper.
+const char *Fig5Loop = R"(
+func minmax5 {
+BL0:
+  LI r31 = 1000
+  L r28 = mem[r31 + 0]
+  LR r30 = r28
+  LI r29 = 1
+BL1:
+  I1: L r12 = mem[r31 + 4]
+  I2: LU r0, r31 = mem[r31 + 8]
+  I18: AI r29 = r29, 2
+  I3: C cr7 = r12, r0
+  I19: C cr4 = r29, r27
+  I4: BF BL6, cr7, gt
+BL2:
+  I5: C cr6 = r12, r30
+  I8: C cr7 = r0, r28
+  I6: BF BL4, cr6, gt
+BL3:
+  I7: LR r30 = r12
+BL4:
+  I9: BF BL10, cr7, lt
+BL5:
+  I10: LR r28 = r0
+  I11: B BL10
+BL6:
+  I12: C cr6 = r0, r30
+  I15: C cr7 = r12, r28
+  I13: BF BL8, cr6, gt
+BL7:
+  I14: LR r30 = r0
+BL8:
+  I16: BF BL10, cr7, lt
+BL9:
+  I17: LR r28 = r12
+BL10:
+  I20: BT BL1, cr4, lt
+BL11:
+  RET
+}
+)";
+
+// Figure 6: useful + 1-branch speculative scheduling; I5 and I12 hoisted
+// into BL1 (I12's condition register renamed to cr5 by the scheduler).
+const char *Fig6Loop = R"(
+func minmax6 {
+BL0:
+  LI r31 = 1000
+  L r28 = mem[r31 + 0]
+  LR r30 = r28
+  LI r29 = 1
+BL1:
+  I1: L r12 = mem[r31 + 4]
+  I2: LU r0, r31 = mem[r31 + 8]
+  I18: AI r29 = r29, 2
+  I3: C cr7 = r12, r0
+  I19: C cr4 = r29, r27
+  I5: C cr6 = r12, r30
+  I12: C cr5 = r0, r30
+  I4: BF BL6, cr7, gt
+BL2:
+  I8: C cr7 = r0, r28
+  I6: BF BL4, cr6, gt
+BL3:
+  I7: LR r30 = r12
+BL4:
+  I9: BF BL10, cr7, lt
+BL5:
+  I10: LR r28 = r0
+  I11: B BL10
+BL6:
+  I15: C cr7 = r12, r28
+  I13: BF BL8, cr5, gt
+BL7:
+  I14: LR r30 = r0
+BL8:
+  I16: BF BL10, cr7, lt
+BL9:
+  I17: LR r28 = r12
+BL10:
+  I20: BT BL1, cr4, lt
+BL11:
+  RET
+}
+)";
+
+/// Seeds array data that drives a fixed number of min/max updates per
+/// iteration through the loop, then measures the steady-state period.
+double minmaxPeriod(const char *Text, int UpdatesPerIteration) {
+  auto M = parseModuleOrDie(Text);
+  const Function &F = *M->functions()[0];
+  const int Iters = 64;
+  const int N = 2 * Iters + 2;
+
+  Interpreter I(*M);
+  I.enableTrace(true);
+  for (int K = 0; K != N; ++K) {
+    int64_t V = 0;
+    switch (UpdatesPerIteration) {
+    case 0:
+      V = 5; // constant array: min/max settle after the first iteration
+      break;
+    case 1:
+      V = K; // increasing: one max update per iteration (else path)
+      break;
+    case 2:
+      // Pairs (u, v) with u ever larger, v ever smaller: two updates.
+      V = (K % 2 == 1) ? 1000 + K : -1000 - K;
+      break;
+    default:
+      ADD_FAILURE() << "bad update count";
+    }
+    I.storeWord(1000 + 4 * K, V);
+  }
+  I.setReg(Reg::gpr(27), N - 2);
+  ExecResult R = I.run(F);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+
+  TimingSimulator Sim(MachineDescription::rs6k());
+  Sim.recordIssueTimes(true);
+  TimingResult T = Sim.simulate(I.trace());
+  std::vector<size_t> Markers = markerPositions(F, I.trace(), Opcode::BT);
+  EXPECT_GT(Markers.size(), 10u);
+  return steadyStatePeriod(T.IssueTimes, Markers);
+}
+
+} // namespace
+
+TEST(PaperCalibration, Figure2Runs20To22CyclesPerIteration) {
+  double P0 = minmaxPeriod(Fig2Loop, 0);
+  double P1 = minmaxPeriod(Fig2Loop, 1);
+  double P2 = minmaxPeriod(Fig2Loop, 2);
+  EXPECT_NEAR(P0, 20.0, 1.0);
+  EXPECT_NEAR(P1, 21.0, 1.0);
+  EXPECT_NEAR(P2, 22.0, 1.0);
+  EXPECT_LE(P0, P1);
+  EXPECT_LE(P1, P2);
+}
+
+TEST(PaperCalibration, Figure5Runs12To13CyclesPerIteration) {
+  double P0 = minmaxPeriod(Fig5Loop, 0);
+  double P2 = minmaxPeriod(Fig5Loop, 2);
+  EXPECT_NEAR(P0, 12.0, 1.0);
+  EXPECT_NEAR(P2, 13.0, 1.5);
+}
+
+TEST(PaperCalibration, Figure6Runs11To12CyclesPerIteration) {
+  double P0 = minmaxPeriod(Fig6Loop, 0);
+  double P2 = minmaxPeriod(Fig6Loop, 2);
+  EXPECT_NEAR(P0, 11.0, 1.0);
+  EXPECT_NEAR(P2, 12.0, 1.5);
+}
+
+TEST(PaperCalibration, SchedulingStaircase) {
+  // The paper's headline shape: 20-22 -> 12-13 -> 11-12.
+  for (int Updates : {0, 2}) {
+    double P2 = minmaxPeriod(Fig2Loop, Updates);
+    double P5 = minmaxPeriod(Fig5Loop, Updates);
+    double P6 = minmaxPeriod(Fig6Loop, Updates);
+    EXPECT_GT(P2, P5) << "useful scheduling must beat the original";
+    EXPECT_GE(P5, P6) << "speculation must not lose to useful-only";
+  }
+}

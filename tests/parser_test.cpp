@@ -1,0 +1,345 @@
+//===- tests/parser_test.cpp - IR parser/printer round-trip tests ---------===//
+//
+// The parser accepts exactly what the printer produces; these tests check
+// both directions plus diagnostic quality on malformed input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+const char *MinmaxText = R"(
+; The loop of the paper's Figure 2 (minmax), transcribed verbatim.
+global a[100]
+
+func minmax {
+BL1:
+  I1: L r12 = mem[r31 + 4]          ; load u
+  I2: LU r0, r31 = mem[r31 + 8]     ; load v and increment index
+  I3: C cr7 = r12, r0               ; u > v
+  I4: BF BL6, cr7, gt
+BL2:
+  I5: C cr6 = r12, r30              ; u > max
+  I6: BF BL4, cr6, gt
+BL3:
+  I7: LR r30 = r12                  ; max = u
+BL4:
+  I8: C cr7 = r0, r28               ; v < min
+  I9: BF BL10, cr7, lt
+BL5:
+  I10: LR r28 = r0                  ; min = v
+  I11: B BL10
+BL6:
+  I12: C cr6 = r0, r30              ; v > max
+  I13: BF BL8, cr6, gt
+BL7:
+  I14: LR r30 = r0                  ; max = v
+BL8:
+  I15: C cr7 = r12, r28             ; u < min
+  I16: BF BL10, cr7, lt
+BL9:
+  I17: LR r28 = r12                 ; min = u
+BL10:
+  I18: AI r29 = r29, 2              ; i = i + 2
+  I19: C cr4 = r29, r27             ; i < n
+  I20: BT BL1, cr4, lt
+BL11:
+  RET
+}
+)";
+
+} // namespace
+
+TEST(ParserTest, ParsesMinmaxLoop) {
+  ParseResult R = parseModule(MinmaxText);
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.Line;
+  Module &M = *R.M;
+  ASSERT_EQ(M.functions().size(), 1u);
+  Function &F = *M.functions()[0];
+  EXPECT_EQ(F.name(), "minmax");
+  EXPECT_EQ(F.numBlocks(), 11u);
+  EXPECT_EQ(F.numInstrs(), 21u);
+  EXPECT_TRUE(verifyFunction(F).empty());
+
+  // Branch targets resolved across forward references.
+  const BasicBlock &BL1 = F.block(0);
+  ASSERT_EQ(BL1.instrs().size(), 4u);
+  const Instruction &I4 = F.instr(BL1.instrs()[3]);
+  EXPECT_EQ(I4.opcode(), Opcode::BF);
+  EXPECT_EQ(F.block(I4.target()).label(), "BL6");
+  EXPECT_EQ(I4.cond(), CondBit::GT);
+
+  // Loop back edge.
+  const BasicBlock &BL10 = F.block(9);
+  const Instruction &I20 = F.instr(BL10.instrs().back());
+  EXPECT_EQ(I20.opcode(), Opcode::BT);
+  EXPECT_EQ(I20.target(), 0u);
+
+  // Global.
+  ASSERT_EQ(M.globals().size(), 1u);
+  EXPECT_EQ(M.globals()[0].Name, "a");
+  EXPECT_EQ(M.globals()[0].SizeWords, 100);
+}
+
+TEST(ParserTest, RoundTripsThroughPrinter) {
+  auto M1 = parseModuleOrDie(MinmaxText);
+  std::string Printed1 = moduleToString(*M1);
+  auto M2 = parseModuleOrDie(Printed1);
+  std::string Printed2 = moduleToString(*M2);
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(ParserTest, LUPattern) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LU r0, r31 = mem[r31 + 8]
+  RET r0
+}
+)");
+  const Function &F = *M->functions()[0];
+  const Instruction &I = F.instr(0);
+  EXPECT_EQ(I.opcode(), Opcode::LU);
+  ASSERT_EQ(I.defs().size(), 2u);
+  EXPECT_EQ(I.defs()[0], Reg::gpr(0));
+  EXPECT_EQ(I.defs()[1], Reg::gpr(31));
+  EXPECT_EQ(I.memBase(), Reg::gpr(31));
+  EXPECT_EQ(I.imm(), 8);
+}
+
+TEST(ParserTest, NegativeDisplacement) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  L r1 = mem[r2 - 12]
+  RET r1
+}
+)");
+  EXPECT_EQ(M->functions()[0]->instr(0).imm(), -12);
+}
+
+TEST(ParserTest, StoreOperands) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  ST mem[r2 + 4] = r1
+  STU mem[r3 + 8] = r1
+  RET
+}
+)");
+  const Function &F = *M->functions()[0];
+  const Instruction &St = F.instr(0);
+  EXPECT_EQ(St.uses()[0], Reg::gpr(1));   // value
+  EXPECT_EQ(St.memBase(), Reg::gpr(2));   // base is last use
+  const Instruction &Stu = F.instr(1);
+  ASSERT_EQ(Stu.defs().size(), 1u);
+  EXPECT_EQ(Stu.defs()[0], Reg::gpr(3));  // base updated
+}
+
+TEST(ParserTest, CallForms) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  CALL print(r3)
+  CALL r4 = compute(r1, r2)
+  CALL nullary()
+  RET
+}
+)");
+  const Function &F = *M->functions()[0];
+  EXPECT_EQ(F.instr(0).callee(), "print");
+  EXPECT_EQ(F.instr(0).uses().size(), 1u);
+  EXPECT_TRUE(F.instr(0).defs().empty());
+  EXPECT_EQ(F.instr(1).callee(), "compute");
+  EXPECT_EQ(F.instr(1).uses().size(), 2u);
+  ASSERT_EQ(F.instr(1).defs().size(), 1u);
+  EXPECT_EQ(F.instr(1).defs()[0], Reg::gpr(4));
+  EXPECT_TRUE(F.instr(2).uses().empty());
+}
+
+TEST(ParserTest, CommentsBecomeInstructionComments) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 7 ; the answer, halved
+  RET r1
+}
+)");
+  EXPECT_EQ(M->functions()[0]->instr(0).comment(), "the answer, halved");
+}
+
+TEST(ParserTest, InstructionTagBecomesComment) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  I99: LI r1 = 7
+  RET r1
+}
+)");
+  EXPECT_EQ(M->functions()[0]->instr(0).comment(), "I99");
+}
+
+TEST(ParserTest, RejectsUnknownMnemonic) {
+  ParseResult R = parseModule("func f {\nB0:\n  FROB r1 = r2\n}\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("FROB"), std::string::npos);
+  EXPECT_EQ(R.Line, 3);
+}
+
+TEST(ParserTest, RejectsUnknownBranchTarget) {
+  ParseResult R = parseModule("func f {\nB0:\n  B NOWHERE\n}\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("NOWHERE"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicateLabel) {
+  ParseResult R = parseModule("func f {\nB0:\n  NOP\nB0:\n  RET\n}\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, RejectsInstructionOutsideFunction) {
+  ParseResult R = parseModule("LI r1 = 2\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  ParseResult R = parseModule("func f {\nB0:\n  LI r1 = 2 extra\n}\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, RejectsLUWithMismatchedBase) {
+  ParseResult R =
+      parseModule("func f {\nB0:\n  LU r0, r5 = mem[r31 + 8]\n  RET\n}\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, MultipleFunctions) {
+  auto M = parseModuleOrDie(R"(
+func one {
+B0:
+  RET
+}
+
+func two {
+B0:
+  RET
+}
+)");
+  EXPECT_EQ(M->functions().size(), 2u);
+  EXPECT_NE(M->findFunction("one"), nullptr);
+  EXPECT_NE(M->findFunction("two"), nullptr);
+  EXPECT_EQ(M->findFunction("three"), nullptr);
+}
+
+TEST(PrinterTest, InstructionFormats) {
+  auto M = parseModuleOrDie(R"(
+func f {
+B0:
+  LI r1 = 42
+  AI r2 = r1, -3
+  A r3 = r1, r2
+  SL r4 = r3, 2
+  C cr0 = r1, r2
+  BF B1, cr0, eq
+B1:
+  RET r3
+}
+)");
+  const Function &F = *M->functions()[0];
+  EXPECT_EQ(instructionToString(F, 0), "LI r1 = 42");
+  EXPECT_EQ(instructionToString(F, 1), "AI r2 = r1, -3");
+  EXPECT_EQ(instructionToString(F, 2), "A r3 = r1, r2");
+  EXPECT_EQ(instructionToString(F, 3), "SL r4 = r3, 2");
+  EXPECT_EQ(instructionToString(F, 4), "C cr0 = r1, r2");
+  EXPECT_EQ(instructionToString(F, 5), "BF B1, cr0, eq");
+  EXPECT_EQ(instructionToString(F, 6), "RET r3");
+}
+
+TEST(ParserTest, FunctionParameterList) {
+  auto M = parseModuleOrDie(R"(
+func f(r0, r1) {
+B0:
+  A r2 = r0, r1
+  RET r2
+}
+)");
+  const Function &F = *M->functions()[0];
+  ASSERT_EQ(F.params().size(), 2u);
+  EXPECT_EQ(F.params()[0], Reg::gpr(0));
+  EXPECT_EQ(F.params()[1], Reg::gpr(1));
+}
+
+TEST(ParserTest, ParamsRoundTripThroughPrinter) {
+  auto M = parseModuleOrDie(R"(
+func f(r3, f1, r7) {
+B0:
+  RET r3
+}
+)");
+  std::string Printed = moduleToString(*M);
+  EXPECT_NE(Printed.find("func f(r3, f1, r7)"), std::string::npos);
+  auto M2 = parseModuleOrDie(Printed);
+  EXPECT_EQ(M2->functions()[0]->params().size(), 3u);
+  EXPECT_EQ(M2->functions()[0]->params()[1], Reg::fpr(1));
+}
+
+TEST(ParserTest, RejectsMalformedParameterList) {
+  EXPECT_FALSE(parseModule("func f(r0, {\nB0:\n  RET\n}\n").ok());
+  EXPECT_FALSE(parseModule("func f(bogus) {\nB0:\n  RET\n}\n").ok());
+}
+
+TEST(ParserTest, FuzzedInputNeverCrashes) {
+  // Mutate a valid program in many small ways: every mutation must either
+  // parse or produce a diagnostic -- never crash or hang.
+  const std::string Base = R"(
+global a[16]
+func f(r9) {
+B0:
+  L r1 = mem[r9 + 4]
+  C cr0 = r1, r9
+  BF B1, cr0, gt
+B1:
+  CALL print(r1)
+  RET r1
+}
+)";
+  RNG R(0xF022);
+  unsigned Parsed = 0, Rejected = 0;
+  for (int K = 0; K != 400; ++K) {
+    std::string S = Base;
+    unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned E = 0; E != Edits; ++E) {
+      size_t Pos = R.nextBelow(S.size());
+      switch (R.nextBelow(3)) {
+      case 0:
+        S[Pos] = static_cast<char>(R.range(32, 126));
+        break;
+      case 1:
+        S.erase(Pos, 1 + R.nextBelow(3));
+        break;
+      default:
+        S.insert(Pos, 1, static_cast<char>(R.range(32, 126)));
+        break;
+      }
+    }
+    ParseResult PR = parseModule(S);
+    if (PR.ok())
+      ++Parsed;
+    else {
+      ++Rejected;
+      EXPECT_FALSE(PR.Error.empty());
+      EXPECT_GT(PR.Line, 0);
+    }
+  }
+  // Both outcomes occur across 400 mutations.
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Parsed + Rejected, 0u);
+}

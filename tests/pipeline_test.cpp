@@ -1,0 +1,437 @@
+//===- tests/pipeline_test.cpp - Unroll / rotate / pipeline tests ----------===//
+//
+// The Section 6 preparation transforms (loop unrolling and rotation) and
+// the end-to-end scheduling pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "machine/Timing.h"
+#include "sched/Pipeline.h"
+#include "sched/Rotate.h"
+#include "sched/Unroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+// A bottom-test counted loop summing an array.
+const char *SumLoop = R"(
+func sum {
+PRE:
+  LI r1 = 1000
+  LI r3 = 0
+  LI r4 = 0
+LOOP:
+  LU r7, r1 = mem[r1 + 4]
+  A r3 = r3, r7
+  AI r4 = r4, 1
+  C cr0 = r4, r27
+  BT LOOP, cr0, lt
+POST:
+  RET r3
+}
+)";
+
+// A top-test while loop (header branches to the exit).
+const char *WhileLoop = R"(
+func whileloop {
+PRE:
+  LI r1 = 1000
+  LI r3 = 0
+  LI r4 = 0
+HEAD:
+  C cr0 = r4, r27
+  BF EXIT, cr0, lt
+BODY:
+  LU r7, r1 = mem[r1 + 4]
+  A r3 = r3, r7
+  AI r4 = r4, 1
+  B HEAD
+EXIT:
+  RET r3
+}
+)";
+
+int64_t runSum(const Module &M, int64_t N,
+               std::vector<TraceEntry> *TraceOut = nullptr) {
+  const Function &F = *M.functions()[0];
+  Interpreter I(M);
+  I.enableTrace(TraceOut != nullptr);
+  for (int K = 1; K <= N + 2; ++K)
+    I.storeWord(1000 + 4 * K, K);
+  I.setReg(Reg::gpr(27), N);
+  ExecResult R = I.run(F);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_TRUE(R.HasReturnValue);
+  if (TraceOut)
+    *TraceOut = I.trace();
+  return R.ReturnValue;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Unrolling
+//===----------------------------------------------------------------------===
+
+TEST(UnrollTest, SingleBlockLoop) {
+  auto M = parseModuleOrDie(SumLoop);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  ASSERT_TRUE(canUnrollOnce(F, LI, 0));
+
+  unsigned BlocksBefore = F.numBlocks();
+  ASSERT_TRUE(unrollLoopOnce(F, LI, 0));
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_EQ(F.numBlocks(), BlocksBefore + 1);
+
+  // The unrolled function now has a two-block loop.
+  LoopInfo LI2 = LoopInfo::compute(F);
+  ASSERT_EQ(LI2.numLoops(), 1u);
+  EXPECT_EQ(LI2.loop(0).numBlocks(), 2u);
+
+  // Semantics: both even and odd iteration counts.
+  for (int64_t N : {1, 2, 7, 10}) {
+    auto Base = parseModuleOrDie(SumLoop);
+    EXPECT_EQ(runSum(*M, N), runSum(*Base, N)) << "N=" << N;
+  }
+}
+
+TEST(UnrollTest, MultiBlockLoopMinmaxShape) {
+  // The minmax loop (10 blocks, conditional latch) is unrollable too.
+  const char *Minmax = R"(
+func minmax {
+BL0:
+  LI r31 = 1000
+  L r28 = mem[r31 + 0]
+  LR r30 = r28
+  LI r29 = 1
+BL1:
+  L r12 = mem[r31 + 4]
+  LU r0, r31 = mem[r31 + 8]
+  C cr7 = r12, r0
+  BF BL6, cr7, gt
+BL2:
+  C cr6 = r12, r30
+  BF BL4, cr6, gt
+BL3:
+  LR r30 = r12
+BL4:
+  C cr7 = r0, r28
+  BF BL10, cr7, lt
+BL5:
+  LR r28 = r0
+  B BL10
+BL6:
+  C cr6 = r0, r30
+  BF BL8, cr6, gt
+BL7:
+  LR r30 = r0
+BL8:
+  C cr7 = r12, r28
+  BF BL10, cr7, lt
+BL9:
+  LR r28 = r12
+BL10:
+  AI r29 = r29, 2
+  C cr4 = r29, r27
+  BT BL1, cr4, lt
+BL11:
+  CALL print(r28)
+  CALL print(r30)
+  RET
+}
+)";
+  auto M = parseModuleOrDie(Minmax);
+  auto Base = parseModuleOrDie(Minmax);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  ASSERT_TRUE(canUnrollOnce(F, LI, 0));
+  ASSERT_TRUE(unrollLoopOnce(F, LI, 0));
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_EQ(F.numBlocks(), 12u + 10u);
+
+  // Semantics across both parities of the iteration count.
+  for (int64_t N : {9, 11, 25, 27}) {
+    auto Run = [&](const Module &Mod) {
+      Interpreter I(Mod);
+      for (int K = 0; K != 64; ++K)
+        I.storeWord(1000 + 4 * K, (K % 2 == 1) ? 100 + K : -100 - K);
+      I.setReg(Reg::gpr(27), N);
+      ExecResult R = I.run(*Mod.functions()[0]);
+      EXPECT_FALSE(R.Trapped) << R.TrapReason;
+      return R.Printed;
+    };
+    EXPECT_EQ(Run(*M), Run(*Base)) << "N=" << N;
+  }
+}
+
+TEST(UnrollTest, RefusesNonContiguousLoop) {
+  // A loop whose blocks are separated in the layout by an unrelated block.
+  auto M = parseModuleOrDie(R"(
+func f {
+ENTRY:
+  LI r4 = 0
+  B HEAD
+COLD:
+  AI r4 = r4, 5
+  B TAIL
+HEAD:
+  AI r4 = r4, 1
+  C cr0 = r4, r27
+  BT COLD, cr0, eq
+TAIL:
+  C cr1 = r4, r27
+  BT HEAD, cr1, lt
+EXIT:
+  RET r4
+}
+)");
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  EXPECT_FALSE(canUnrollOnce(F, LI, 0));
+  EXPECT_FALSE(unrollLoopOnce(F, LI, 0));
+}
+
+//===----------------------------------------------------------------------===
+// Rotation
+//===----------------------------------------------------------------------===
+
+TEST(RotateTest, WhileLoopTopTest) {
+  auto M = parseModuleOrDie(WhileLoop);
+  auto Base = parseModuleOrDie(WhileLoop);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  ASSERT_TRUE(canRotateLoop(F, LI, 0));
+
+  unsigned BlocksBefore = F.numBlocks();
+  ASSERT_TRUE(rotateLoop(F, LI, 0));
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_EQ(F.numBlocks(), BlocksBefore + 1);
+
+  // The rotated loop no longer contains the original header (it is
+  // peeled); the copy is the new latch.
+  LoopInfo LI2 = LoopInfo::compute(F);
+  ASSERT_EQ(LI2.numLoops(), 1u);
+  BlockId OrigHead = 1; // HEAD was the second block created
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    if (F.block(B).label() == "HEAD")
+      OrigHead = B;
+  EXPECT_FALSE(LI2.loop(0).contains(OrigHead));
+
+  // Semantics, including the zero-iteration case.
+  for (int64_t N : {0, 1, 5, 13})
+    EXPECT_EQ(runSum(*M, N), runSum(*Base, N)) << "N=" << N;
+}
+
+TEST(RotateTest, SelfLoopBecomesTwoBlockLoop) {
+  auto M = parseModuleOrDie(SumLoop);
+  auto Base = parseModuleOrDie(SumLoop);
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  ASSERT_TRUE(canRotateLoop(F, LI, 0));
+  ASSERT_TRUE(rotateLoop(F, LI, 0));
+  EXPECT_TRUE(verifyFunction(F).empty());
+  LoopInfo LI2 = LoopInfo::compute(F);
+  ASSERT_EQ(LI2.numLoops(), 1u);
+  EXPECT_EQ(LI2.loop(0).numBlocks(), 2u);
+  for (int64_t N : {1, 2, 9})
+    EXPECT_EQ(runSum(*M, N), runSum(*Base, N)) << "N=" << N;
+}
+
+TEST(RotateTest, RefusesTwoInLoopSuccessors) {
+  // Header with a conditional branch to two in-loop blocks.
+  auto M = parseModuleOrDie(R"(
+func f {
+PRE:
+  LI r4 = 0
+HEAD:
+  C cr0 = r4, r9
+  BF ARM2, cr0, gt
+ARM1:
+  AI r4 = r4, 1
+  B TAIL
+ARM2:
+  AI r4 = r4, 2
+TAIL:
+  C cr1 = r4, r27
+  BT HEAD, cr1, lt
+EXIT:
+  RET r4
+}
+)");
+  Function &F = *M->functions()[0];
+  LoopInfo LI = LoopInfo::compute(F);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  EXPECT_FALSE(canRotateLoop(F, LI, 0));
+}
+
+//===----------------------------------------------------------------------===
+// Full pipeline
+//===----------------------------------------------------------------------===
+
+TEST(PipelineTest, SumLoopEndToEnd) {
+  auto M = parseModuleOrDie(SumLoop);
+  auto Base = parseModuleOrDie(SumLoop);
+  Function &F = *M->functions()[0];
+
+  PipelineOptions Opts;
+  MachineDescription MD = MachineDescription::rs6k();
+  PipelineStats Stats = schedulePipeline(F, MD, Opts);
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_EQ(Stats.LoopsUnrolled, 1u);
+  EXPECT_GE(Stats.LoopsRotated, 1u);
+
+  // Semantics for several iteration counts.
+  for (int64_t N : {1, 2, 3, 10, 31})
+    EXPECT_EQ(runSum(*M, N), runSum(*Base, N)) << "N=" << N;
+
+  // And the scheduled loop must actually be faster.
+  std::vector<TraceEntry> TB, TS;
+  runSum(*Base, 200, &TB);
+  runSum(*M, 200, &TS);
+  TimingSimulator Sim(MD);
+  uint64_t CyclesBase = Sim.simulate(TB).Cycles;
+  uint64_t CyclesSched = Sim.simulate(TS).Cycles;
+  EXPECT_LT(CyclesSched, CyclesBase);
+}
+
+TEST(PipelineTest, WhileLoopEndToEnd) {
+  auto M = parseModuleOrDie(WhileLoop);
+  auto Base = parseModuleOrDie(WhileLoop);
+  Function &F = *M->functions()[0];
+  PipelineOptions Opts;
+  MachineDescription MD = MachineDescription::rs6k();
+  schedulePipeline(F, MD, Opts);
+  EXPECT_TRUE(verifyFunction(F).empty());
+  for (int64_t N : {0, 1, 2, 9, 40})
+    EXPECT_EQ(runSum(*M, N), runSum(*Base, N)) << "N=" << N;
+}
+
+TEST(PipelineTest, TransformsDisabledStillSchedules) {
+  auto M = parseModuleOrDie(SumLoop);
+  Function &F = *M->functions()[0];
+  PipelineOptions Opts;
+  Opts.EnableUnroll = false;
+  Opts.EnableRotate = false;
+  PipelineStats Stats =
+      schedulePipeline(F, MachineDescription::rs6k(), Opts);
+  EXPECT_EQ(Stats.LoopsUnrolled, 0u);
+  EXPECT_EQ(Stats.LoopsRotated, 0u);
+  EXPECT_GT(Stats.Global.BlocksScheduled, 0u);
+  EXPECT_TRUE(verifyFunction(F).empty());
+}
+
+TEST(PipelineTest, RegionSizeLimitSkips) {
+  auto M = parseModuleOrDie(SumLoop);
+  Function &F = *M->functions()[0];
+  PipelineOptions Opts;
+  Opts.RegionInstrLimit = 2; // everything is too big now
+  Opts.EnableUnroll = false;
+  Opts.EnableRotate = false;
+  PipelineStats Stats =
+      schedulePipeline(F, MachineDescription::rs6k(), Opts);
+  EXPECT_GT(Stats.RegionsSkippedBySize, 0u);
+  EXPECT_EQ(Stats.Global.UsefulMotions + Stats.Global.SpeculativeMotions, 0u);
+}
+
+TEST(PipelineTest, IrreducibleFunctionFallsBackToLocal) {
+  auto M = parseModuleOrDie(R"(
+func irr {
+B0:
+  LI r1 = 0
+  CI cr0 = r1, 5
+  BT B2, cr0, lt
+B1:
+  AI r1 = r1, 1
+  CI cr1 = r1, 7
+  BT B2, cr1, lt
+B3:
+  RET r1
+B2:
+  AI r1 = r1, 3
+  CI cr2 = r1, 9
+  BT B1, cr2, lt
+B4:
+  RET r1
+}
+)");
+  Function &F = *M->functions()[0];
+  PipelineOptions Opts;
+  PipelineStats Stats =
+      schedulePipeline(F, MachineDescription::rs6k(), Opts);
+  EXPECT_EQ(Stats.FunctionsSkippedIrreducible, 1u);
+  EXPECT_EQ(Stats.Global.BlocksScheduled, 0u);
+  EXPECT_GT(Stats.Local.BlocksScheduled, 0u);
+  EXPECT_TRUE(verifyFunction(F).empty());
+}
+
+TEST(PipelineTest, NestedLoopsScheduleInnerAndOuter) {
+  auto M = parseModuleOrDie(R"(
+func nest {
+B0:
+  LI r1 = 0
+  LI r5 = 0
+OUTER:
+  LI r2 = 0
+INNER:
+  AI r2 = r2, 1
+  AI r5 = r5, 1
+  C cr0 = r2, r8
+  BT INNER, cr0, lt
+AFTER:
+  AI r1 = r1, 1
+  C cr1 = r1, r9
+  BT OUTER, cr1, lt
+EXIT:
+  RET r5
+}
+)");
+  auto Base = parseModuleOrDie(R"(
+func nest {
+B0:
+  LI r1 = 0
+  LI r5 = 0
+OUTER:
+  LI r2 = 0
+INNER:
+  AI r2 = r2, 1
+  AI r5 = r5, 1
+  C cr0 = r2, r8
+  BT INNER, cr0, lt
+AFTER:
+  AI r1 = r1, 1
+  C cr1 = r1, r9
+  BT OUTER, cr1, lt
+EXIT:
+  RET r5
+}
+)");
+  Function &F = *M->functions()[0];
+  PipelineOptions Opts;
+  PipelineStats Stats =
+      schedulePipeline(F, MachineDescription::rs6k(), Opts);
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_GT(Stats.Global.RegionsScheduled, 1u);
+
+  auto Run = [](Module &Mod) {
+    Interpreter I(Mod);
+    I.setReg(Reg::gpr(8), 5);
+    I.setReg(Reg::gpr(9), 4);
+    ExecResult R = I.run(*Mod.functions()[0]);
+    EXPECT_FALSE(R.Trapped);
+    return R.ReturnValue;
+  };
+  EXPECT_EQ(Run(*M), Run(*Base));
+  EXPECT_EQ(Run(*Base), 20);
+}

@@ -1,0 +1,182 @@
+//===- tests/support_test.cpp - Support library tests ----------------------===//
+
+#include "support/BitSet.h"
+#include "support/Format.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gis;
+
+//===----------------------------------------------------------------------===
+// BitSet
+//===----------------------------------------------------------------------===
+
+TEST(BitSetTest, SetResetTest) {
+  BitSet B(130);
+  EXPECT_EQ(B.size(), 130u);
+  EXPECT_TRUE(B.empty());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+  B.clear();
+  EXPECT_TRUE(B.empty());
+}
+
+TEST(BitSetTest, SetAlgebra) {
+  BitSet A(100), B(100);
+  A.set(3);
+  A.set(50);
+  B.set(50);
+  B.set(99);
+
+  BitSet U = A;
+  EXPECT_TRUE(U.unionWith(B));
+  EXPECT_TRUE(U.test(3) && U.test(50) && U.test(99));
+  EXPECT_FALSE(U.unionWith(B)); // no change the second time
+
+  BitSet I = A;
+  EXPECT_TRUE(I.intersectWith(B));
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(50));
+
+  BitSet D = A;
+  EXPECT_TRUE(D.subtract(B));
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_TRUE(D.test(3));
+
+  EXPECT_TRUE(A.anyCommon(B));
+  EXPECT_FALSE(D.anyCommon(B));
+}
+
+TEST(BitSetTest, ForEachAscending) {
+  BitSet B(200);
+  std::vector<unsigned> Expect = {0, 63, 64, 65, 128, 199};
+  for (unsigned E : Expect)
+    B.set(E);
+  std::vector<unsigned> Got;
+  B.forEach([&](unsigned I) { Got.push_back(I); });
+  EXPECT_EQ(Got, Expect);
+}
+
+TEST(BitSetTest, MatchesStdSetReference) {
+  RNG R(42);
+  BitSet B(257);
+  std::set<unsigned> Ref;
+  for (int K = 0; K != 500; ++K) {
+    unsigned I = static_cast<unsigned>(R.nextBelow(257));
+    if (R.chancePercent(50)) {
+      B.set(I);
+      Ref.insert(I);
+    } else {
+      B.reset(I);
+      Ref.erase(I);
+    }
+  }
+  EXPECT_EQ(B.count(), Ref.size());
+  for (unsigned I = 0; I != 257; ++I)
+    EXPECT_EQ(B.test(I), Ref.count(I) > 0) << I;
+}
+
+TEST(BitSetTest, EqualityIncludesSize) {
+  BitSet A(10), B(10), C(11);
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+  A.set(5);
+  EXPECT_FALSE(A == B);
+}
+
+//===----------------------------------------------------------------------===
+// RNG
+//===----------------------------------------------------------------------===
+
+TEST(RNGTest, DeterministicPerSeed) {
+  RNG A(7), B(7), C(8);
+  for (int K = 0; K != 100; ++K) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+    (void)C.next();
+  }
+  RNG A2(7), C2(8);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(RNGTest, RangeIsInclusive) {
+  RNG R(123);
+  bool SawLo = false, SawHi = false;
+  for (int K = 0; K != 2000; ++K) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNGTest, ChancePercentExtremes) {
+  RNG R(5);
+  for (int K = 0; K != 100; ++K) {
+    EXPECT_FALSE(R.chancePercent(0));
+    EXPECT_TRUE(R.chancePercent(100));
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Formatting and strings
+//===----------------------------------------------------------------------===
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+  EXPECT_EQ(formatString("%lld", static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(formatString("no args"), "no args");
+  // Long output beyond any small static buffer.
+  std::string Long = formatString("%0200d", 5);
+  EXPECT_EQ(Long.size(), 200u);
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtilsTest, Split) {
+  auto P = split("a,b,,c", ',');
+  ASSERT_EQ(P.size(), 3u);
+  EXPECT_EQ(P[0], "a");
+  EXPECT_EQ(P[2], "c");
+  auto Q = split("a,b,,c", ',', /*KeepEmpty=*/true);
+  ASSERT_EQ(Q.size(), 4u);
+  EXPECT_EQ(Q[2], "");
+  EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(endsWith("foobar", "bar"));
+  EXPECT_FALSE(endsWith("ar", "bar"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_TRUE(endsWith("x", ""));
+}
