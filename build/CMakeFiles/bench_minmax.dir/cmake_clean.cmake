@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minmax.dir/bench/bench_minmax.cpp.o"
+  "CMakeFiles/bench_minmax.dir/bench/bench_minmax.cpp.o.d"
+  "bench/bench_minmax"
+  "bench/bench_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compile_and_schedule.dir/compile_and_schedule.cpp.o"
+  "CMakeFiles/example_compile_and_schedule.dir/compile_and_schedule.cpp.o.d"
+  "example_compile_and_schedule"
+  "example_compile_and_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compile_and_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

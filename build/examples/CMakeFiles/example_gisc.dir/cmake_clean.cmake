@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gisc.dir/gisc.cpp.o"
+  "CMakeFiles/example_gisc.dir/gisc.cpp.o.d"
+  "example_gisc"
+  "example_gisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

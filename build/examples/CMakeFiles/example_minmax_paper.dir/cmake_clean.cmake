@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_minmax_paper.dir/minmax_paper.cpp.o"
+  "CMakeFiles/example_minmax_paper.dir/minmax_paper.cpp.o.d"
+  "example_minmax_paper"
+  "example_minmax_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_minmax_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

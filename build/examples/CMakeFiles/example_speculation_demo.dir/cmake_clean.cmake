@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speculation_demo.dir/speculation_demo.cpp.o"
+  "CMakeFiles/example_speculation_demo.dir/speculation_demo.cpp.o.d"
+  "example_speculation_demo"
+  "example_speculation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speculation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_width_explorer.dir/width_explorer.cpp.o"
+  "CMakeFiles/example_width_explorer.dir/width_explorer.cpp.o.d"
+  "example_width_explorer"
+  "example_width_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_width_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ControlDeps.cpp" "src/CMakeFiles/gis.dir/analysis/ControlDeps.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/ControlDeps.cpp.o.d"
+  "/root/repo/src/analysis/DataDeps.cpp" "src/CMakeFiles/gis.dir/analysis/DataDeps.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/DataDeps.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/gis.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Graph.cpp" "src/CMakeFiles/gis.dir/analysis/Graph.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/Graph.cpp.o.d"
+  "/root/repo/src/analysis/GraphViz.cpp" "src/CMakeFiles/gis.dir/analysis/GraphViz.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/GraphViz.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/gis.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/gis.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/MemDisambig.cpp" "src/CMakeFiles/gis.dir/analysis/MemDisambig.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/MemDisambig.cpp.o.d"
+  "/root/repo/src/analysis/PDG.cpp" "src/CMakeFiles/gis.dir/analysis/PDG.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/PDG.cpp.o.d"
+  "/root/repo/src/analysis/RegPressure.cpp" "src/CMakeFiles/gis.dir/analysis/RegPressure.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/RegPressure.cpp.o.d"
+  "/root/repo/src/analysis/Region.cpp" "src/CMakeFiles/gis.dir/analysis/Region.cpp.o" "gcc" "src/CMakeFiles/gis.dir/analysis/Region.cpp.o.d"
+  "/root/repo/src/frontend/CodeGen.cpp" "src/CMakeFiles/gis.dir/frontend/CodeGen.cpp.o" "gcc" "src/CMakeFiles/gis.dir/frontend/CodeGen.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/gis.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/gis.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/gis.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/gis.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/gis.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/gis.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/gis.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/gis.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/CMakeFiles/gis.dir/ir/Opcode.cpp.o" "gcc" "src/CMakeFiles/gis.dir/ir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/gis.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/gis.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/gis.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/gis.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Register.cpp" "src/CMakeFiles/gis.dir/ir/Register.cpp.o" "gcc" "src/CMakeFiles/gis.dir/ir/Register.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/gis.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/gis.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/machine/MachineDescription.cpp" "src/CMakeFiles/gis.dir/machine/MachineDescription.cpp.o" "gcc" "src/CMakeFiles/gis.dir/machine/MachineDescription.cpp.o.d"
+  "/root/repo/src/machine/Timing.cpp" "src/CMakeFiles/gis.dir/machine/Timing.cpp.o" "gcc" "src/CMakeFiles/gis.dir/machine/Timing.cpp.o.d"
+  "/root/repo/src/sched/Duplication.cpp" "src/CMakeFiles/gis.dir/sched/Duplication.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Duplication.cpp.o.d"
+  "/root/repo/src/sched/GlobalScheduler.cpp" "src/CMakeFiles/gis.dir/sched/GlobalScheduler.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/GlobalScheduler.cpp.o.d"
+  "/root/repo/src/sched/Heuristics.cpp" "src/CMakeFiles/gis.dir/sched/Heuristics.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Heuristics.cpp.o.d"
+  "/root/repo/src/sched/ListScheduler.cpp" "src/CMakeFiles/gis.dir/sched/ListScheduler.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/LocalScheduler.cpp" "src/CMakeFiles/gis.dir/sched/LocalScheduler.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/LocalScheduler.cpp.o.d"
+  "/root/repo/src/sched/LoopShape.cpp" "src/CMakeFiles/gis.dir/sched/LoopShape.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/LoopShape.cpp.o.d"
+  "/root/repo/src/sched/Pipeline.cpp" "src/CMakeFiles/gis.dir/sched/Pipeline.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Pipeline.cpp.o.d"
+  "/root/repo/src/sched/PreRenaming.cpp" "src/CMakeFiles/gis.dir/sched/PreRenaming.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/PreRenaming.cpp.o.d"
+  "/root/repo/src/sched/Renaming.cpp" "src/CMakeFiles/gis.dir/sched/Renaming.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Renaming.cpp.o.d"
+  "/root/repo/src/sched/Report.cpp" "src/CMakeFiles/gis.dir/sched/Report.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Report.cpp.o.d"
+  "/root/repo/src/sched/Rotate.cpp" "src/CMakeFiles/gis.dir/sched/Rotate.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Rotate.cpp.o.d"
+  "/root/repo/src/sched/Unroll.cpp" "src/CMakeFiles/gis.dir/sched/Unroll.cpp.o" "gcc" "src/CMakeFiles/gis.dir/sched/Unroll.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/gis.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/gis.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/CMakeFiles/gis.dir/support/StringUtils.cpp.o" "gcc" "src/CMakeFiles/gis.dir/support/StringUtils.cpp.o.d"
+  "/root/repo/src/workloads/RandomProgram.cpp" "src/CMakeFiles/gis.dir/workloads/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/gis.dir/workloads/RandomProgram.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/gis.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/gis.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

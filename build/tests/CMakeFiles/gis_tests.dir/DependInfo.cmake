@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis2_test.cpp" "tests/CMakeFiles/gis_tests.dir/analysis2_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/analysis2_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/gis_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/duplication_test.cpp" "tests/CMakeFiles/gis_tests.dir/duplication_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/duplication_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/gis_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/frontend2_test.cpp" "tests/CMakeFiles/gis_tests.dir/frontend2_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/frontend2_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/gis_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/graphviz_test.cpp" "tests/CMakeFiles/gis_tests.dir/graphviz_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/graphviz_test.cpp.o.d"
+  "/root/repo/tests/heuristics_test.cpp" "tests/CMakeFiles/gis_tests.dir/heuristics_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/heuristics_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/gis_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/gis_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/gis_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/gis_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/gis_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/gis_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/pdg_test.cpp" "tests/CMakeFiles/gis_tests.dir/pdg_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/pdg_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/gis_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/profile_test.cpp" "tests/CMakeFiles/gis_tests.dir/profile_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/profile_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/gis_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/region2_test.cpp" "tests/CMakeFiles/gis_tests.dir/region2_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/region2_test.cpp.o.d"
+  "/root/repo/tests/regpressure_test.cpp" "tests/CMakeFiles/gis_tests.dir/regpressure_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/regpressure_test.cpp.o.d"
+  "/root/repo/tests/renaming_test.cpp" "tests/CMakeFiles/gis_tests.dir/renaming_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/renaming_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/gis_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/gis_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/gis_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/timing2_test.cpp" "tests/CMakeFiles/gis_tests.dir/timing2_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/timing2_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/gis_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/gis_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
