@@ -106,6 +106,35 @@ template <typename CallableT> double secondsPerCall(CallableT Fn) {
   }
 }
 
+/// Scheduling-only wall-clock seconds for one workload: seconds per
+/// compile+schedule call minus seconds per compile-only call.  Used to
+/// compare pipeline configurations whose run-time output is identical but
+/// whose compile-time cost differs (e.g. the transactional layer's
+/// checkpoint/verify overhead).
+inline double scheduleOnlySeconds(const Workload &W,
+                                  const MachineDescription &MD,
+                                  const PipelineOptions &Opts) {
+  double CompileOnly = secondsPerCall([&] {
+    auto M = compileMiniCOrDie(W.Source);
+    GIS_ASSERT(M, "workload must compile");
+  });
+  double Total = secondsPerCall([&] {
+    auto M = compileMiniCOrDie(W.Source);
+    scheduleModule(*M, MD, Opts);
+  });
+  return Total > CompileOnly ? Total - CompileOnly : 0.0;
+}
+
+/// Total rollbacks recorded while scheduling one workload (should be zero
+/// outside fault injection; reported so regressions are visible).
+inline unsigned scheduleRollbacks(const Workload &W,
+                                  const MachineDescription &MD,
+                                  const PipelineOptions &Opts) {
+  auto M = compileMiniCOrDie(W.Source);
+  PipelineStats Stats = scheduleModule(*M, MD, Opts);
+  return Stats.RegionsRolledBack + Stats.TransformsRolledBack;
+}
+
 /// Prints a horizontal rule sized for our tables.
 inline void rule(unsigned Width = 72) {
   std::fputs((std::string(Width, '-') + "\n").c_str(), stdout);

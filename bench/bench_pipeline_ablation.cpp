@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 using namespace gis;
 using namespace gis::bench;
 
@@ -101,11 +103,73 @@ void printPaperTable() {
               "extension (3-branch speculation, all region\nlevels).\n");
 }
 
+// Compile-time cost of the transactional layer (checkpointing plus the
+// structural and semantic verifiers), measured as scheduling-only seconds
+// relative to a transactions-off run.  The differential oracle is far too
+// slow for release compiles and stays off by default; set GIS_BENCH_ORACLE
+// to include it as a debug row.
+void printTransactionTable() {
+  MachineDescription MD = MachineDescription::rs6k();
+  std::vector<Config> Cs;
+
+  PipelineOptions Off = speculativeOptions();
+  Off.EnableTransactions = false;
+  Cs.push_back({"transactions off", Off});
+
+  PipelineOptions Snap = speculativeOptions();
+  Snap.VerifyStructural = false;
+  Snap.VerifySemantic = false;
+  Cs.push_back({"+ checkpoint/rollback", Snap});
+
+  PipelineOptions Struct = speculativeOptions();
+  Struct.VerifySemantic = false;
+  Cs.push_back({"+ structural verify", Struct});
+
+  Cs.push_back({"+ semantic verify", speculativeOptions()});
+
+  if (std::getenv("GIS_BENCH_ORACLE")) {
+    PipelineOptions Oracle = speculativeOptions();
+    Oracle.EnableOracle = true;
+    Cs.push_back({"+ oracle (debug)", Oracle});
+  }
+
+  std::printf("\nE7: transactional-layer compile-time overhead "
+              "(scheduling-only, RS/6000)\n");
+  rule(90);
+  std::printf("%-22s", "CONFIG");
+  for (const Workload &W : specLikeWorkloads())
+    std::printf("%12s", W.Name.c_str());
+  std::printf("%12s%10s\n", "OVERHEAD", "ROLLBACKS");
+  rule(90);
+
+  double Reference = 0;
+  for (const Config &C : Cs) {
+    std::printf("%-22s", C.Name);
+    double Total = 0;
+    unsigned Rollbacks = 0;
+    for (const Workload &W : specLikeWorkloads()) {
+      double Secs = scheduleOnlySeconds(W, MD, C.Opts);
+      Total += Secs;
+      Rollbacks += scheduleRollbacks(W, MD, C.Opts);
+      std::printf("%10.2fms", Secs * 1e3);
+    }
+    if (Reference == 0)
+      Reference = Total;
+    std::printf("%11.1f%%%10u\n", 100.0 * (Total / Reference - 1.0),
+                Rollbacks);
+  }
+  rule(90);
+  std::printf("OVERHEAD is total scheduling time relative to the first "
+              "row; ROLLBACKS must be 0\noutside fault injection "
+              "(GIS_FAULT_INJECT).\n");
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printPaperTable();
+  printTransactionTable();
   return 0;
 }

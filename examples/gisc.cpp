@@ -320,7 +320,13 @@ int main(int argc, char **argv) {
               << "\n  regions over size cap: "
               << Stats.RegionsSkippedBySize
               << "\n  blocks reordered (local): "
-              << Stats.Local.BlocksReordered << "\n";
+              << Stats.Local.BlocksReordered
+              << "\n  transactions run:     " << Stats.TransactionsRun
+              << "\n  rollbacks (region/transform): "
+              << Stats.RegionsRolledBack << "/" << Stats.TransformsRolledBack
+              << "\n  faults injected:      " << Stats.FaultsInjected << "\n";
+    for (const Diagnostic &D : Stats.Diags)
+      std::cout << "  diagnostic: " << D.str() << "\n";
     for (const auto &F : M->functions()) {
       RegPressure P = computeRegPressure(*F);
       std::cout << "  " << F->name() << ": peak live GPR/FPR/CR = "

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification: build and run the full test suite twice, once plain
+# and once under ASan+UBSan (-DGIS_SANITIZE=address,undefined).  Run from
+# anywhere; builds land in build/ and build-san/ next to the sources.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -S "$ROOT" -B "$dir" "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== plain build =="
+run_suite "$ROOT/build"
+
+echo "== sanitized build (address,undefined) =="
+run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
+
+echo "OK: both suites passed"

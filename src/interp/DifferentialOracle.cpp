@@ -1,0 +1,105 @@
+//===- interp/DifferentialOracle.cpp - Execution-based oracle --------------===//
+
+#include "interp/DifferentialOracle.h"
+
+#include "interp/Interpreter.h"
+#include "support/Format.h"
+
+#include <map>
+
+using namespace gis;
+
+const char *gis::oracleVerdictName(OracleVerdict V) {
+  switch (V) {
+  case OracleVerdict::Match:
+    return "match";
+  case OracleVerdict::Mismatch:
+    return "mismatch";
+  case OracleVerdict::Inconclusive:
+    return "inconclusive";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deterministic parameter value for parameter \p Idx of input set \p Set:
+/// small, mixed-sign, distinct across sets.
+int64_t paramValue(unsigned Set, unsigned Idx) {
+  int64_t V = static_cast<int64_t>(Set) * 37 + static_cast<int64_t>(Idx) * 11;
+  return (V % 23) - 7;
+}
+
+/// Seeds one interpreter with the input set: parameter registers plus a
+/// deterministic pattern over every global array.
+void seedInputs(Interpreter &I, const Module &M, const Function &F,
+                unsigned Set) {
+  for (unsigned Idx = 0; Idx != F.params().size(); ++Idx) {
+    Reg P = F.params()[Idx];
+    if (P.regClass() == RegClass::FPR)
+      I.setFReg(P, static_cast<double>(paramValue(Set, Idx)) * 0.5);
+    else
+      I.setReg(P, paramValue(Set, Idx));
+  }
+  for (const GlobalArray &G : M.globals())
+    for (int64_t K = 0; K != G.SizeWords; ++K)
+      I.storeWord(G.Address + K * 4,
+                  (G.Address + K * 7 + static_cast<int64_t>(Set) * 13) % 29 -
+                      9);
+}
+
+/// The final memory with default-zero slots dropped, in address order, so
+/// maps that differ only in explicitly stored zeros compare equal.
+std::map<int64_t, int64_t> nonzeroMemory(const Interpreter &I) {
+  std::map<int64_t, int64_t> Mem;
+  for (auto [Addr, V] : I.memory())
+    if (V != 0)
+      Mem[Addr] = V;
+  return Mem;
+}
+
+} // namespace
+
+OracleReport gis::runDifferentialOracle(const Module &M,
+                                        const Function &Original,
+                                        const Function &Transformed,
+                                        const OracleOptions &Opts) {
+  for (unsigned Set = 0; Set != Opts.NumInputSets; ++Set) {
+    Interpreter IOrig(M), ITrans(M);
+    seedInputs(IOrig, M, Original, Set);
+    seedInputs(ITrans, M, Transformed, Set);
+    ExecResult ROrig = IOrig.run(Original, Opts.MaxSteps);
+    ExecResult RTrans = ITrans.run(Transformed, Opts.MaxSteps);
+
+    // A blown step budget (either side) says nothing about equivalence:
+    // the program may simply be long-running on this input.
+    if ((ROrig.Trapped && ROrig.TrapReason == "step budget exhausted") ||
+        (RTrans.Trapped && RTrans.TrapReason == "step budget exhausted"))
+      return {OracleVerdict::Inconclusive,
+              formatString("input set %u: step budget exhausted", Set)};
+
+    if (ROrig.Trapped != RTrans.Trapped)
+      return {OracleVerdict::Mismatch,
+              formatString("input set %u: original %s, transformed %s", Set,
+                           ROrig.Trapped ? ROrig.TrapReason.c_str()
+                                         : "ran to completion",
+                           RTrans.Trapped ? RTrans.TrapReason.c_str()
+                                          : "ran to completion")};
+    if (ROrig.Printed != RTrans.Printed)
+      return {OracleVerdict::Mismatch,
+              formatString("input set %u: printed sequences diverge "
+                           "(%zu values vs %zu)",
+                           Set, ROrig.Printed.size(), RTrans.Printed.size())};
+    if (ROrig.Trapped)
+      continue; // same trap, same prints: comparable up to the fault
+
+    if (ROrig.HasReturnValue != RTrans.HasReturnValue ||
+        (ROrig.HasReturnValue && ROrig.ReturnValue != RTrans.ReturnValue))
+      return {OracleVerdict::Mismatch,
+              formatString("input set %u: return values diverge", Set)};
+    if (nonzeroMemory(IOrig) != nonzeroMemory(ITrans))
+      return {OracleVerdict::Mismatch,
+              formatString("input set %u: final memory diverges", Set)};
+  }
+  return {OracleVerdict::Match, ""};
+}

@@ -1,0 +1,69 @@
+//===- interp/DifferentialOracle.h - Execution-based oracle -----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interpreter-based differential oracle for the transactional pipeline:
+/// it executes the original and the transformed version of a function on a
+/// small fixed family of deterministic inputs (parameter values plus a
+/// seeded pattern over the module's global arrays) and compares every
+/// observable -- traps, printed values, return value, and final nonzero
+/// memory.  Any divergence means the transform changed program behaviour
+/// and must be rolled back.
+///
+/// The oracle runs the *transformed* function against the live module, so
+/// calls it makes resolve to the module's (possibly also transformed)
+/// callees; mini-C call graphs are acyclic and every callee is itself
+/// oracle-checked when it is transformed, so a divergence is always pinned
+/// to the function under test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_INTERP_DIFFERENTIALORACLE_H
+#define GIS_INTERP_DIFFERENTIALORACLE_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace gis {
+
+/// Outcome of one differential comparison.
+enum class OracleVerdict : uint8_t {
+  Match,        ///< all observables identical on every input set
+  Mismatch,     ///< some observable diverged -- the transform is wrong
+  Inconclusive, ///< a run hit the step budget; no verdict either way
+};
+
+/// Returns a short name for \p V ("match", "mismatch", "inconclusive").
+const char *oracleVerdictName(OracleVerdict V);
+
+struct OracleOptions {
+  /// Interpreter step budget per run.  Transform-mangled control flow can
+  /// loop forever; the budget turns that into an Inconclusive verdict
+  /// rather than a hang.
+  uint64_t MaxSteps = 500'000;
+  /// Number of distinct deterministic input sets to execute.
+  unsigned NumInputSets = 2;
+};
+
+struct OracleReport {
+  OracleVerdict Verdict = OracleVerdict::Match;
+  /// Human-readable description of the first divergence (empty on Match).
+  std::string Detail;
+};
+
+/// Runs \p Original and \p Transformed on OracleOptions::NumInputSets
+/// deterministic inputs and compares observables.  \p M supplies global
+/// arrays and call targets; both runs share its shape but each gets a
+/// fresh interpreter (no state leaks between sides or input sets).
+OracleReport runDifferentialOracle(const Module &M, const Function &Original,
+                                   const Function &Transformed,
+                                   const OracleOptions &Opts = {});
+
+} // namespace gis
+
+#endif // GIS_INTERP_DIFFERENTIALORACLE_H

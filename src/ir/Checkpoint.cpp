@@ -1,0 +1,32 @@
+//===- ir/Checkpoint.cpp - Function checkpoint/restore ---------------------===//
+
+#include "ir/Checkpoint.h"
+
+using namespace gis;
+
+static bool instructionsIdentical(const Instruction &A, const Instruction &B) {
+  return A.opcode() == B.opcode() && A.defs() == B.defs() &&
+         A.uses() == B.uses() && A.imm() == B.imm() && A.cond() == B.cond() &&
+         A.target() == B.target() && A.callee() == B.callee() &&
+         A.originalOrder() == B.originalOrder();
+}
+
+bool gis::functionsIdentical(const Function &A, const Function &B) {
+  if (A.name() != B.name() || A.params() != B.params())
+    return false;
+  for (RegClass C : {RegClass::GPR, RegClass::FPR, RegClass::CR})
+    if (A.numRegs(C) != B.numRegs(C))
+      return false;
+  if (A.numBlocks() != B.numBlocks() || A.numInstrs() != B.numInstrs() ||
+      A.layout() != B.layout())
+    return false;
+  for (BlockId Blk = 0; Blk != A.numBlocks(); ++Blk) {
+    if (A.block(Blk).label() != B.block(Blk).label() ||
+        A.block(Blk).instrs() != B.block(Blk).instrs())
+      return false;
+  }
+  for (InstrId I = 0; I != A.numInstrs(); ++I)
+    if (!instructionsIdentical(A.instr(I), B.instr(I)))
+      return false;
+  return true;
+}

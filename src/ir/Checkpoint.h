@@ -1,0 +1,54 @@
+//===- ir/Checkpoint.h - Function checkpoint/restore ------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap deep snapshots of a Function, the substrate of the transactional
+/// scheduling pipeline: every transform runs against a checkpoint, and a
+/// failed verification rolls the function back to it bit-for-bit.  A
+/// Function is a handful of dense vectors (instruction pool, blocks,
+/// layout, register counters), so a snapshot is one deep copy with no
+/// pointer fix-up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_IR_CHECKPOINT_H
+#define GIS_IR_CHECKPOINT_H
+
+#include "ir/Function.h"
+
+namespace gis {
+
+/// A deep snapshot of one Function.
+class FunctionSnapshot {
+public:
+  /// Captures the complete state of \p F (pool, blocks, layout, registers,
+  /// cached CFG edges).
+  explicit FunctionSnapshot(const Function &F) : Saved(F) {}
+
+  /// Rolls \p F back to the captured state.  \p F must be the function the
+  /// snapshot was taken from (or an equally-shaped one); afterwards
+  /// identical(F, function()) holds.
+  void restore(Function &F) const { F = Saved; }
+
+  /// The captured state, readable in place (used by the semantic verifier
+  /// and the differential oracle as the "original" side).
+  const Function &function() const { return Saved; }
+
+private:
+  Function Saved;
+};
+
+/// Field-by-field equality of two functions: same name, parameters,
+/// register counters, layout, block labels and contents, and identical
+/// instruction pools (opcode, operands, immediates, branch targets,
+/// callees, original order).  This is the "bit-identical" contract that
+/// rollback restores.
+bool functionsIdentical(const Function &A, const Function &B);
+
+} // namespace gis
+
+#endif // GIS_IR_CHECKPOINT_H

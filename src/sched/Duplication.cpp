@@ -52,7 +52,8 @@ DuplicationStats gis::duplicateIntoPreds(Function &F, const SchedRegion &R,
       if (I.neverCrossesBlock() || I.isTerminator())
         break;
       int NodeIdx = DD.nodeOfInstr(Head);
-      GIS_ASSERT(NodeIdx >= 0, "region instruction missing from DDG");
+      if (NodeIdx < 0)
+        break; // inconsistent analysis state: leave the join untouched
 
       // Dependence predecessors must precede every insertion point.
       bool DepsOk = true;

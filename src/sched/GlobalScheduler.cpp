@@ -13,10 +13,23 @@
 using namespace gis;
 
 GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
-                                                 const SchedRegion &R) {
+                                                 const SchedRegion &R,
+                                                 Status *Err) {
   GlobalSchedStats Stats;
+  if (Err)
+    *Err = Status::ok();
   if (Opts.Level == SchedLevel::None)
     return Stats;
+
+  // Recoverable failure: report through Err when the caller can roll back,
+  // abort otherwise (the historical fail-fast contract).
+  Status Failure;
+  auto Fail = [&](ErrorCode Code, std::string Msg) {
+    if (Failure.isOk())
+      Failure = Status::error(Code, std::move(Msg));
+    if (!Err)
+      fatalError(__FILE__, __LINE__, Failure.str().c_str());
+  };
 
   PDG P = PDG::build(F, R, MD);
   const DataDeps &DD = P.dataDeps();
@@ -64,9 +77,15 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     std::vector<unsigned> Own;
     for (InstrId I : F.block(ABlock).instrs()) {
       int N = DD.nodeOfInstr(I);
-      GIS_ASSERT(N >= 0, "instruction in region block missing from DDG");
+      if (N < 0) {
+        Fail(ErrorCode::SchedulerInconsistency,
+             "instruction in region block missing from DDG");
+        break;
+      }
       Own.push_back(static_cast<unsigned>(N));
     }
+    if (!Failure.isOk())
+      break;
 
     // U(A) = A union EQUIV(A) decides the useful/speculative class.
     std::vector<unsigned> Equiv = P.equivSet(A);
@@ -109,6 +128,8 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     // register that is live on exit from A.  Renaming rescues the common
     // local-value case (Figure 6's cr6 -> cr5).
     auto SpecCheck = [&](unsigned Node) {
+      if (!Failure.isOk())
+        return false; // already failing: no further motion
       InstrId I = DD.ddgNode(Node).Instr;
       Liveness &Live = FreshLiveness();
       // Collect conflicting defs first; rename only if all are renameable.
@@ -153,7 +174,11 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
       BlockId Home = R.node(From).Block;
       std::vector<InstrId> &HomeInstrs = F.block(Home).instrs();
       auto It = std::find(HomeInstrs.begin(), HomeInstrs.end(), I);
-      GIS_ASSERT(It != HomeInstrs.end(), "moved instruction not at home");
+      if (It == HomeInstrs.end()) {
+        Fail(ErrorCode::SchedulerInconsistency,
+             "moved instruction not found at its home block");
+        return;
+      }
       HomeInstrs.erase(It);
       // Placed at the end of A for now; the final intra-block order is
       // installed after the engine finishes.
@@ -169,16 +194,25 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     ListScheduler Engine(F, DD, MD, H, Opts.Order);
     EngineResult Sched =
         Engine.run(Own, External, Disposition, SpecCheck, OnSchedule);
+    if (!Sched.S.isOk())
+      Fail(Sched.S.code(), Sched.S.message());
+    if (!Failure.isOk())
+      break;
 
     // Install A's final intra-block order.
     std::vector<InstrId> NewContents;
     NewContents.reserve(Sched.Order.size());
     for (unsigned Node : Sched.Order)
       NewContents.push_back(DD.ddgNode(Node).Instr);
-    GIS_ASSERT(NewContents.size() == F.block(ABlock).instrs().size(),
-               "scheduled order must cover exactly the block contents");
+    if (NewContents.size() != F.block(ABlock).instrs().size()) {
+      Fail(ErrorCode::SchedulerInconsistency,
+           "scheduled order does not cover exactly the block contents");
+      break;
+    }
     F.block(ABlock).instrs() = std::move(NewContents);
   }
 
+  if (Err)
+    *Err = Failure;
   return Stats;
 }

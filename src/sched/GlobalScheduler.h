@@ -84,7 +84,14 @@ public:
   /// Schedules one region of \p F in place (reordering block contents and
   /// moving instructions between the region's blocks).  The CFG shape is
   /// unchanged.  Returns statistics of the pass.
-  GlobalSchedStats scheduleRegion(Function &F, const SchedRegion &R);
+  ///
+  /// With \p Err non-null, recoverable failures (engine divergence,
+  /// internal inconsistencies) are reported through it and the function is
+  /// left mid-transform -- the caller owns a checkpoint and must roll back.
+  /// With \p Err null such failures abort, preserving the historical
+  /// fail-fast contract for direct callers without a transaction layer.
+  GlobalSchedStats scheduleRegion(Function &F, const SchedRegion &R,
+                                  Status *Err = nullptr);
 
 private:
   MachineDescription MD;

@@ -2,6 +2,8 @@
 
 #include "sched/ListScheduler.h"
 
+#include "support/Format.h"
+
 #include <algorithm>
 #include <unordered_map>
 
@@ -32,6 +34,9 @@ EngineResult ListScheduler::run(
     const std::function<bool(unsigned)> &SpecCheck,
     const std::function<void(unsigned, bool)> &OnSchedule) {
   EngineResult Result;
+  auto Fail = [&](ErrorCode Code, std::string Msg) {
+    Result.S = Status::error(Code, std::move(Msg));
+  };
 
   // Candidate table and DDG-node -> candidate index map.
   std::vector<CandState> Cands;
@@ -45,7 +50,13 @@ EngineResult ListScheduler::run(
     C.Speculative = Spec;
     C.Freq = Freq;
     const DataDeps::Node &N = DD.ddgNode(Node);
-    GIS_ASSERT(!N.isBarrier(), "barrier nodes are never scheduling candidates");
+    if (N.isBarrier())
+      return Fail(ErrorCode::SchedulerInconsistency,
+                  "barrier node offered as a scheduling candidate");
+    if (CandOf.count(Node))
+      return Fail(ErrorCode::SchedulerInconsistency,
+                  formatString("instruction %u offered as a candidate twice",
+                               N.Instr));
     C.IsTerminator = F.instr(N.Instr).isTerminator();
     CandOf.emplace(Node, static_cast<unsigned>(Cands.size()));
     Cands.push_back(C);
@@ -53,10 +64,10 @@ EngineResult ListScheduler::run(
   for (unsigned Node : Own)
     AddCand(Node, /*IsOwn=*/true, /*Useful=*/true, /*Spec=*/false,
             /*Freq=*/0);
-  for (const EngineCandidate &E : External) {
-    GIS_ASSERT(!CandOf.count(E.DDGNode), "duplicate candidate");
+  for (const EngineCandidate &E : External)
     AddCand(E.DDGNode, /*IsOwn=*/false, E.Useful, E.Speculative, E.Freq);
-  }
+  if (!Result.S.isOk())
+    return Result;
 
   // Resolve predecessors: count candidate preds, detect blocked ones.
   for (CandState &C : Cands) {
@@ -68,7 +79,11 @@ EngineResult ListScheduler::run(
         continue;
       }
       if (Disposition(P) == PredDisposition::Blocked) {
-        GIS_ASSERT(!C.Own, "own instruction depends on a blocked external");
+        if (C.Own) {
+          Fail(ErrorCode::SchedulerInconsistency,
+               "own instruction depends on a blocked external");
+          return Result;
+        }
         C.Dropped = true;
       }
     }
@@ -83,7 +98,11 @@ EngineResult ListScheduler::run(
     for (unsigned EIdx : DD.predEdges(C.DDGNode)) {
       auto It = CandOf.find(DD.edges()[EIdx].From);
       if (It != CandOf.end() && Cands[It->second].Dropped) {
-        GIS_ASSERT(!C.Own, "own instruction depends on a dropped external");
+        if (C.Own) {
+          Fail(ErrorCode::SchedulerInconsistency,
+               "own instruction depends on a dropped external");
+          return Result;
+        }
         C.Dropped = true;
         break;
       }
@@ -157,14 +176,25 @@ EngineResult ListScheduler::run(
       if (It == CandOf.end())
         continue;
       CandState &S = Cands[It->second];
-      GIS_ASSERT(S.PredsRemaining > 0, "predecessor count underflow");
+      if (S.PredsRemaining == 0) {
+        Fail(ErrorCode::SchedulerInconsistency,
+             "predecessor count underflow while releasing successors");
+        return;
+      }
       --S.PredsRemaining;
       S.ReadyTime = std::max(S.ReadyTime, At + Exec + E.Delay);
     }
   };
 
   while (OwnRemaining > 0) {
-    GIS_ASSERT(Cycle < CycleCap, "list scheduler failed to converge");
+    if (Cycle >= CycleCap) {
+      Fail(ErrorCode::SchedulerDivergence,
+           formatString("no forward progress after %llu cycles (%u own "
+                        "instructions unplaced)",
+                        static_cast<unsigned long long>(CycleCap),
+                        OwnRemaining));
+      return Result;
+    }
 
     // Ready list for this cycle, best-first.
     std::vector<unsigned> Ready;
@@ -207,6 +237,8 @@ EngineResult ListScheduler::run(
       UnitBusy[Type][static_cast<unsigned>(Unit)] =
           Cycle + MD.execTime(Op);
       OnScheduled(C, Cycle);
+      if (!Result.S.isOk())
+        return Result;
       if (OnSchedule)
         OnSchedule(C.DDGNode, !C.Own);
       if (C.Own && --OwnRemaining == 0)

@@ -28,6 +28,7 @@
 #include "analysis/DataDeps.h"
 #include "machine/MachineDescription.h"
 #include "sched/Heuristics.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <vector>
@@ -73,6 +74,11 @@ struct EngineResult {
   std::vector<uint64_t> Cycles;
   /// Completion cycle of the block's own instructions.
   uint64_t Makespan = 0;
+  /// Success, or why the engine gave up.  On error Order is incomplete and
+  /// the caller must discard the whole attempt (the transaction layer rolls
+  /// the function back, since OnSchedule may already have moved
+  /// instructions).
+  Status S;
 };
 
 /// The list-scheduling engine for one region.

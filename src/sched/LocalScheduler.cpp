@@ -70,15 +70,26 @@ void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
     ++Stats.BlocksScheduled;
 
     std::vector<unsigned> Own;
+    bool AllInDDG = true;
     for (InstrId I : BB.instrs()) {
       int N = DD.nodeOfInstr(I);
-      GIS_ASSERT(N >= 0, "block instruction missing from DDG");
+      if (N < 0) {
+        AllInDDG = false;
+        break;
+      }
       Own.push_back(static_cast<unsigned>(N));
+    }
+    if (!AllInDDG) {
+      // Inconsistent analysis state; the block keeps its original order.
+      ++Stats.BlocksFailed;
+      continue;
     }
 
     EngineResult Sched = Engine.run(Own, {}, AllFixed, NoSpec);
-    GIS_ASSERT(Sched.Order.size() == Own.size(),
-               "local scheduling must keep all instructions");
+    if (!Sched.S.isOk() || Sched.Order.size() != Own.size()) {
+      ++Stats.BlocksFailed;
+      continue;
+    }
 
     std::vector<InstrId> NewContents;
     NewContents.reserve(Sched.Order.size());

@@ -26,6 +26,10 @@ namespace gis {
 struct LocalSchedStats {
   unsigned BlocksScheduled = 0;
   unsigned BlocksReordered = 0; ///< blocks whose instruction order changed
+  /// Blocks the engine could not schedule (divergence or inconsistency);
+  /// such blocks keep their original instruction order.  Local scheduling
+  /// never moves instructions between blocks, so skipping is always safe.
+  unsigned BlocksFailed = 0;
 };
 
 /// Reorders the instructions of every basic block of \p F for the machine

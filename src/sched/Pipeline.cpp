@@ -3,12 +3,18 @@
 #include "sched/Pipeline.h"
 
 #include "analysis/Region.h"
+#include "interp/DifferentialOracle.h"
+#include "ir/Checkpoint.h"
+#include "ir/Verifier.h"
 #include "sched/Duplication.h"
 #include "sched/PreRenaming.h"
 #include "sched/Rotate.h"
+#include "sched/ScheduleVerifier.h"
 #include "sched/Unroll.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
+#include <functional>
 
 using namespace gis;
 
@@ -30,25 +36,121 @@ bool isOuterLoop(const LoopInfo &LI, unsigned L) {
   return true;
 }
 
+/// Shared context of one pipeline run's transactions.
+struct TxContext {
+  Function &F;
+  const MachineDescription &MD;
+  const PipelineOptions &Opts;
+  PipelineStats &Stats;
+};
+
+/// Runs one transform as a transaction: snapshot, transform, verify,
+/// commit or roll back.
+///
+/// \param Stage    stable stage name ("prerename", "unroll", "region",
+///                 "rotate", "duplicate", "local"); also the fault
+///                 injection trigger point (GIS_FAULT_INJECT).
+/// \param LoopIdx  region loop index for diagnostics (-1: whole function).
+/// \param Body     the transform.  Records its statistics into the passed
+///                 delta (merged into Ctx.Stats only on commit) and
+///                 reports recoverable failures through its return Status.
+/// \param SemanticRegion when non-null, the semantic schedule verifier
+///                 re-checks every motion of the transaction against this
+///                 region (built on the pre-transaction function).
+/// \param RegionScoped controls which rollback counter a failure bumps.
+///
+/// Returns true when the transaction committed.  With transactions
+/// disabled the body runs bare: no snapshot, no verification, and a failure
+/// Status aborts (the historical fail-fast contract).
+bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
+                    const std::function<Status(PipelineStats &)> &Body,
+                    const SchedRegion *SemanticRegion, bool RegionScoped) {
+  if (!Ctx.Opts.EnableTransactions) {
+    PipelineStats Delta;
+    Status S = Body(Delta);
+    if (!S.isOk())
+      fatalError(__FILE__, __LINE__, S.str().c_str());
+    Ctx.Stats += Delta;
+    return true;
+  }
+
+  ++Ctx.Stats.TransactionsRun;
+  FunctionSnapshot Snap(Ctx.F);
+  PipelineStats Delta;
+  Status S = Body(Delta);
+  if (!S.isOk())
+    ++Ctx.Stats.EngineFailures;
+
+  if (S.isOk() && FaultInjector::instance().shouldFire(Stage) &&
+      corruptFunctionForTest(Ctx.F))
+    ++Ctx.Stats.FaultsInjected;
+
+  if (S.isOk() && Ctx.Opts.VerifyStructural) {
+    std::vector<std::string> Problems = verifyFunction(Ctx.F);
+    if (!Problems.empty()) {
+      S = Status::error(ErrorCode::VerifierStructural, Problems.front());
+      ++Ctx.Stats.VerifierFailures;
+    }
+  }
+  if (S.isOk() && Ctx.Opts.VerifySemantic && SemanticRegion) {
+    std::vector<std::string> Problems = verifyRegionSchedule(
+        Snap.function(), Ctx.F, *SemanticRegion, Ctx.MD);
+    if (!Problems.empty()) {
+      S = Status::error(ErrorCode::VerifierSemantic, Problems.front());
+      ++Ctx.Stats.VerifierFailures;
+    }
+  }
+  if (S.isOk() && Ctx.Opts.EnableOracle && Ctx.Opts.OracleModule) {
+    OracleOptions OOpts;
+    OOpts.MaxSteps = Ctx.Opts.OracleMaxSteps;
+    OracleReport Rep = runDifferentialOracle(*Ctx.Opts.OracleModule,
+                                             Snap.function(), Ctx.F, OOpts);
+    if (Rep.Verdict == OracleVerdict::Mismatch) {
+      S = Status::error(ErrorCode::OracleMismatch, Rep.Detail);
+      ++Ctx.Stats.OracleMismatches;
+    }
+  }
+
+  if (S.isOk()) {
+    Ctx.Stats += Delta;
+    return true;
+  }
+
+  Snap.restore(Ctx.F);
+  if (RegionScoped)
+    ++Ctx.Stats.RegionsRolledBack;
+  else
+    ++Ctx.Stats.TransformsRolledBack;
+  reportDiagnostic(Ctx.Stats.Diags, S, Ctx.F.name(), Stage, LoopIdx);
+  return false;
+}
+
 /// Schedules region \p LoopIdx (or -1 for the top level) if it is within
-/// the size limits.
-void scheduleOneRegion(Function &F, const MachineDescription &MD,
-                       const PipelineOptions &Opts, const LoopInfo &LI,
-                       int LoopIdx, PipelineStats &Stats) {
-  SchedRegion R = SchedRegion::build(F, LI, LoopIdx);
-  if (R.numRealBlocks() > Opts.RegionBlockLimit ||
-      R.numInstrs() > Opts.RegionInstrLimit) {
-    ++Stats.RegionsSkippedBySize;
+/// the size limits.  Runs as one transaction with semantic verification.
+void scheduleOneRegion(TxContext &Ctx, const LoopInfo &LI, int LoopIdx) {
+  SchedRegion R = SchedRegion::build(Ctx.F, LI, LoopIdx);
+  if (R.numRealBlocks() > Ctx.Opts.RegionBlockLimit ||
+      R.numInstrs() > Ctx.Opts.RegionInstrLimit) {
+    ++Ctx.Stats.RegionsSkippedBySize;
     return;
   }
   GlobalSchedOptions GOpts;
-  GOpts.Level = Opts.Level;
-  GOpts.MaxSpecDepth = Opts.MaxSpecDepth;
-  GOpts.EnableRenaming = Opts.EnableRenaming;
-  GOpts.Order = Opts.Order;
-  GOpts.Profile = Opts.Profile;
-  GlobalScheduler GS(MD, GOpts);
-  Stats.Global += GS.scheduleRegion(F, R);
+  GOpts.Level = Ctx.Opts.Level;
+  GOpts.MaxSpecDepth = Ctx.Opts.MaxSpecDepth;
+  GOpts.EnableRenaming = Ctx.Opts.EnableRenaming;
+  GOpts.Order = Ctx.Opts.Order;
+  GOpts.Profile = Ctx.Opts.Profile;
+  GlobalScheduler GS(Ctx.MD, GOpts);
+  runTransaction(
+      Ctx, "region", LoopIdx,
+      [&](PipelineStats &Delta) {
+        Status S;
+        Delta.Global +=
+            GS.scheduleRegion(Ctx.F, R,
+                              Ctx.Opts.EnableTransactions ? &S : nullptr);
+        return S;
+      },
+      &R, /*RegionScoped=*/true);
 }
 
 } // namespace
@@ -56,6 +158,7 @@ void scheduleOneRegion(Function &F, const MachineDescription &MD,
 PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                                     const PipelineOptions &Opts) {
   PipelineStats Stats;
+  TxContext Ctx{F, MD, Opts, Stats};
   F.recomputeCFG();
   F.renumberOriginalOrder();
 
@@ -72,11 +175,18 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
   // (the base compiler has it too), so it is not gated on the global
   // scheduling level: the basic-block scheduler profits as well.
   if (Opts.EnablePreRenaming)
-    Stats.PreRenamedDefs = preRenameLocals(F).RenamedDefs;
+    runTransaction(
+        Ctx, "prerename", -1,
+        [&](PipelineStats &Delta) {
+          Delta.PreRenamedDefs = preRenameLocals(F).RenamedDefs;
+          return Status::ok();
+        },
+        nullptr, /*RegionScoped=*/false);
 
   if (GlobalEnabled) {
     // Step 1: unroll small inner loops once.  Each unroll invalidates
-    // LoopInfo, so process one loop at a time.
+    // LoopInfo, so process one loop at a time.  A rolled-back unroll marks
+    // its header done, so the loop is simply left un-unrolled.
     if (Opts.EnableUnroll) {
       bool Progress = true;
       std::vector<BlockId> UnrolledHeaders;
@@ -87,16 +197,29 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           if (!isInnerLoop(LI, L) ||
               LI.loop(L).numBlocks() > Opts.UnrollMaxBlocks)
             continue;
+          BlockId Header = LI.loop(L).Header;
           if (std::find(UnrolledHeaders.begin(), UnrolledHeaders.end(),
-                        LI.loop(L).Header) != UnrolledHeaders.end())
+                        Header) != UnrolledHeaders.end())
             continue; // already unrolled once
-          if (unrollLoopOnce(F, LI, L)) {
-            UnrolledHeaders.push_back(LI.loop(L).Header);
-            ++Stats.LoopsUnrolled;
+          UnrolledHeaders.push_back(Header);
+          if (!canUnrollOnce(F, LI, L))
+            continue; // shape unsupported; no transaction needed
+          bool Changed = false;
+          bool Committed = runTransaction(
+              Ctx, "unroll", static_cast<int>(L),
+              [&](PipelineStats &Delta) {
+                Status S;
+                Changed = unrollLoopOnce(
+                    F, LI, L, Opts.EnableTransactions ? &S : nullptr);
+                if (Changed)
+                  ++Delta.LoopsUnrolled;
+                return S;
+              },
+              nullptr, /*RegionScoped=*/false);
+          if (Committed && Changed) {
             Progress = true;
             break; // LoopInfo is stale; restart
           }
-          UnrolledHeaders.push_back(LI.loop(L).Header); // shape unsupported
         }
       }
     }
@@ -105,9 +228,10 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     LI = LoopInfo::compute(F);
     for (unsigned L : LI.innermostFirstOrder())
       if (isInnerLoop(LI, L))
-        scheduleOneRegion(F, MD, Opts, LI, static_cast<int>(L), Stats);
+        scheduleOneRegion(Ctx, LI, static_cast<int>(L));
 
-    // Step 3: rotate small inner loops.
+    // Step 3: rotate small inner loops.  As with unrolling, a rolled-back
+    // rotation leaves the loop in its original shape and moves on.
     if (Opts.EnableRotate) {
       bool Progress = true;
       std::vector<BlockId> RotatedHeaders;
@@ -118,20 +242,36 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           if (!isInnerLoop(LI, L) ||
               LI.loop(L).numBlocks() > Opts.RotateMaxBlocks)
             continue;
+          BlockId Header = LI.loop(L).Header;
           if (std::find(RotatedHeaders.begin(), RotatedHeaders.end(),
-                        LI.loop(L).Header) != RotatedHeaders.end())
+                        Header) != RotatedHeaders.end())
             continue;
-          if (rotateLoop(F, LI, L)) {
+          if (!canRotateLoop(F, LI, L)) {
+            RotatedHeaders.push_back(Header);
+            continue;
+          }
+          bool Changed = false;
+          bool Committed = runTransaction(
+              Ctx, "rotate", static_cast<int>(L),
+              [&](PipelineStats &Delta) {
+                Status S;
+                Changed = rotateLoop(F, LI, L,
+                                     Opts.EnableTransactions ? &S : nullptr);
+                if (Changed)
+                  ++Delta.LoopsRotated;
+                return S;
+              },
+              nullptr, /*RegionScoped=*/false);
+          if (Committed && Changed) {
             // The rotated loop's header changes; remember the new loops by
             // marking every current header as done after one rotation.
-            ++Stats.LoopsRotated;
             LI = LoopInfo::compute(F);
             for (unsigned L2 = 0; L2 != LI.numLoops(); ++L2)
               RotatedHeaders.push_back(LI.loop(L2).Header);
             Progress = true;
             break;
           }
-          RotatedHeaders.push_back(LI.loop(L).Header);
+          RotatedHeaders.push_back(Header);
         }
       }
     }
@@ -143,7 +283,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
       bool Schedule = isInnerLoop(LI, L) ||
                       (Opts.OnlyTwoInnerLevels ? isOuterLoop(LI, L) : true);
       if (Schedule)
-        scheduleOneRegion(F, MD, Opts, LI, static_cast<int>(L), Stats);
+        scheduleOneRegion(Ctx, LI, static_cast<int>(L));
     }
     // The function body region: with the two-level restriction it is
     // scheduled only when no loop nesting exceeds it (the body is then
@@ -155,10 +295,12 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           ScheduleTop = false; // top level sits above two loop levels
     }
     if (ScheduleTop)
-      scheduleOneRegion(F, MD, Opts, LI, -1, Stats);
+      scheduleOneRegion(Ctx, LI, -1);
 
     // Future-work extension: join replication (Definition 6) over the
     // inner regions, feeding the final basic-block pass extra slack.
+    // Duplication breaks instruction conservation by design, so only the
+    // structural verifier and the oracle apply.
     if (Opts.AllowDuplication) {
       LI = LoopInfo::compute(F);
       DuplicationOptions DOpts;
@@ -170,8 +312,14 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
         if (R.numRealBlocks() > Opts.RegionBlockLimit ||
             R.numInstrs() > Opts.RegionInstrLimit)
           continue;
-        Stats.DuplicatedInstrs +=
-            duplicateIntoPreds(F, R, DOpts).DuplicatedInstrs;
+        runTransaction(
+            Ctx, "duplicate", static_cast<int>(L),
+            [&](PipelineStats &Delta) {
+              Delta.DuplicatedInstrs +=
+                  duplicateIntoPreds(F, R, DOpts).DuplicatedInstrs;
+              return Status::ok();
+            },
+            nullptr, /*RegionScoped=*/true);
       }
     }
   }
@@ -179,7 +327,13 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
   // Step 5: the basic-block scheduler with its (per the paper, more
   // detailed) machine model runs over every block.
   if (Opts.RunLocalScheduler)
-    Stats.Local = scheduleLocal(F, MD);
+    runTransaction(
+        Ctx, "local", -1,
+        [&](PipelineStats &Delta) {
+          Delta.Local = scheduleLocal(F, MD);
+          return Status::ok();
+        },
+        nullptr, /*RegionScoped=*/false);
 
   F.recomputeCFG();
   F.renumberOriginalOrder();
@@ -189,7 +343,10 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
 PipelineStats gis::scheduleModule(Module &M, const MachineDescription &MD,
                                   const PipelineOptions &Opts) {
   PipelineStats Stats;
+  PipelineOptions FnOpts = Opts;
+  if (FnOpts.EnableOracle && !FnOpts.OracleModule)
+    FnOpts.OracleModule = &M;
   for (auto &F : M.functions())
-    Stats += schedulePipeline(*F, MD, Opts);
+    Stats += schedulePipeline(*F, MD, FnOpts);
   return Stats;
 }

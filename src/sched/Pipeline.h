@@ -29,6 +29,7 @@
 #include "sched/GlobalScheduler.h"
 #include "sched/LocalScheduler.h"
 #include "sched/Profile.h"
+#include "support/Diagnostics.h"
 
 namespace gis {
 
@@ -67,6 +68,31 @@ struct PipelineOptions {
   /// in the paper's prototype ("no duplication of code is allowed").
   bool AllowDuplication = false;
   unsigned MaxDuplicationsPerRegion = 16;
+
+  //===--------------------------------------------------------------------===
+  // Transactional execution (failure model & recovery; see DESIGN.md)
+  //===--------------------------------------------------------------------===
+
+  /// Run every transform as a transaction: snapshot the function, run the
+  /// transform, verify, and roll back to the snapshot on any failure.
+  /// When false the pipeline keeps the historical fail-fast contract
+  /// (internal invariant failures abort the process).
+  bool EnableTransactions = true;
+  /// Run the structural IR verifier on each transaction's output.
+  bool VerifyStructural = true;
+  /// Run the semantic schedule verifier (sched/ScheduleVerifier.h) on each
+  /// region scheduling transaction.
+  bool VerifySemantic = true;
+  /// Run the interpreter-based differential oracle on each transaction.
+  /// Off by default: it executes the function and is far too slow for
+  /// release compiles; enable for fuzzing and debugging.
+  bool EnableOracle = false;
+  /// Module the function under transformation belongs to; required by the
+  /// oracle (call targets, global arrays).  Borrowed; may be null, which
+  /// disables the oracle.  scheduleModule fills it in automatically.
+  const Module *OracleModule = nullptr;
+  /// Interpreter step budget per oracle run.
+  uint64_t OracleMaxSteps = 500'000;
 };
 
 /// Aggregate statistics of one pipeline run.
@@ -80,16 +106,45 @@ struct PipelineStats {
   unsigned RegionsSkippedBySize = 0;
   unsigned FunctionsSkippedIrreducible = 0;
 
+  // Transactional execution (see PipelineOptions::EnableTransactions).
+  unsigned TransactionsRun = 0;
+  /// Region-scoped transactions (region scheduling, duplication) rolled
+  /// back to their checkpoint.
+  unsigned RegionsRolledBack = 0;
+  /// Whole-function transforms (pre-renaming, unroll, rotate, local
+  /// scheduling) rolled back to their checkpoint.
+  unsigned TransformsRolledBack = 0;
+  /// Transactions rejected by the structural or semantic verifier.
+  unsigned VerifierFailures = 0;
+  /// Transactions rejected by the differential oracle.
+  unsigned OracleMismatches = 0;
+  /// Transactions whose transform reported an engine failure (divergence
+  /// or internal inconsistency) through the Status channel.
+  unsigned EngineFailures = 0;
+  /// Faults deliberately injected via GIS_FAULT_INJECT.
+  unsigned FaultsInjected = 0;
+  /// One record per rolled-back or degraded transform.
+  std::vector<Diagnostic> Diags;
+
   PipelineStats &operator+=(const PipelineStats &RHS) {
     Global += RHS.Global;
     Local.BlocksScheduled += RHS.Local.BlocksScheduled;
     Local.BlocksReordered += RHS.Local.BlocksReordered;
+    Local.BlocksFailed += RHS.Local.BlocksFailed;
     LoopsUnrolled += RHS.LoopsUnrolled;
     LoopsRotated += RHS.LoopsRotated;
     PreRenamedDefs += RHS.PreRenamedDefs;
     DuplicatedInstrs += RHS.DuplicatedInstrs;
     RegionsSkippedBySize += RHS.RegionsSkippedBySize;
     FunctionsSkippedIrreducible += RHS.FunctionsSkippedIrreducible;
+    TransactionsRun += RHS.TransactionsRun;
+    RegionsRolledBack += RHS.RegionsRolledBack;
+    TransformsRolledBack += RHS.TransformsRolledBack;
+    VerifierFailures += RHS.VerifierFailures;
+    OracleMismatches += RHS.OracleMismatches;
+    EngineFailures += RHS.EngineFailures;
+    FaultsInjected += RHS.FaultsInjected;
+    Diags.insert(Diags.end(), RHS.Diags.begin(), RHS.Diags.end());
     return *this;
   }
 };
@@ -98,7 +153,9 @@ struct PipelineStats {
 PipelineStats schedulePipeline(Function &F, const MachineDescription &MD,
                                const PipelineOptions &Opts);
 
-/// Runs the full pipeline on every function of \p M.
+/// Runs the full pipeline on every function of \p M.  When the oracle is
+/// enabled and PipelineOptions::OracleModule is null, \p M itself is used
+/// as the oracle module.
 PipelineStats scheduleModule(Module &M, const MachineDescription &MD,
                              const PipelineOptions &Opts);
 

@@ -3,6 +3,7 @@
 #include "sched/Rotate.h"
 
 #include "sched/LoopShape.h"
+#include "support/Assert.h"
 
 using namespace gis;
 
@@ -96,9 +97,20 @@ bool gis::canRotateLoop(const Function &F, const LoopInfo &LI,
   return planRotation(F, L, Blocks).K != RotationPlan::Kind::Unsupported;
 }
 
-bool gis::rotateLoop(Function &F, const LoopInfo &LI, unsigned LoopIdx) {
+bool gis::rotateLoop(Function &F, const LoopInfo &LI, unsigned LoopIdx,
+                     Status *Err) {
+  if (Err)
+    *Err = Status::ok();
   if (!canRotateLoop(F, LI, LoopIdx))
     return false;
+  // Mid-flight invariant failure: report and leave rollback to the caller,
+  // or abort when no error channel was provided.
+  auto Fail = [&](const char *Msg) {
+    if (!Err)
+      fatalError(__FILE__, __LINE__, Msg);
+    *Err = Status::error(ErrorCode::LoopTransformFailed, Msg);
+    return false;
+  };
   const Loop &L = LI.loop(LoopIdx);
   std::vector<BlockId> Blocks = contiguousLoopBlocks(F, L);
   RotationPlan Plan = planRotation(F, L, Blocks);
@@ -129,7 +141,7 @@ bool gis::rotateLoop(Function &F, const LoopInfo &LI, unsigned LoopIdx) {
     break;
   }
   case RotationPlan::Kind::Unsupported:
-    gis_unreachable("rotation plan must be supported here");
+    return Fail("rotation plan must be supported here");
   }
 
   // Redirect all back edges to the copy.  A conditional back edge on the
@@ -138,13 +150,16 @@ bool gis::rotateLoop(Function &F, const LoopInfo &LI, unsigned LoopIdx) {
   // loop-again path becomes the fall-through into the copy.
   for (BlockId Latch : L.Latches) {
     InstrId Term = F.terminatorOf(Latch);
+    if (Term == InvalidId)
+      return Fail("latch without terminator");
     Instruction &T = F.instr(Term);
-    GIS_ASSERT(T.isBranch() && T.target() == L.Header,
-               "latch must branch to the header");
+    if (!T.isBranch() || T.target() != L.Header)
+      return Fail("latch must branch to the header");
     if (Latch == Last &&
         (T.opcode() == Opcode::BT || T.opcode() == Opcode::BF)) {
       BlockId Exit = F.layoutSuccessor(Copy);
-      GIS_ASSERT(Exit != InvalidId, "loop exit fell off the layout");
+      if (Exit == InvalidId)
+        return Fail("loop exit fell off the layout");
       T.setOpcode(T.opcode() == Opcode::BT ? Opcode::BF : Opcode::BT);
       T.setTarget(Exit);
     } else {

@@ -21,6 +21,7 @@
 
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
+#include "support/Status.h"
 
 namespace gis {
 
@@ -34,7 +35,13 @@ bool canRotateLoop(const Function &F, const LoopInfo &LI, unsigned LoopIdx);
 /// back edges are redirected to the copy, and the copy branches back into
 /// the loop body (the original header is peeled and runs only on entry).
 /// Returns false (no change) for unsupported shapes.
-bool rotateLoop(Function &F, const LoopInfo &LI, unsigned LoopIdx);
+///
+/// With \p Err non-null, a mid-flight invariant failure is reported
+/// through it and the function may be left partially transformed -- the
+/// caller owns a checkpoint and must roll back.  With \p Err null such
+/// failures abort.
+bool rotateLoop(Function &F, const LoopInfo &LI, unsigned LoopIdx,
+                Status *Err = nullptr);
 
 } // namespace gis
 

@@ -1,0 +1,203 @@
+//===- sched/ScheduleVerifier.cpp - Semantic schedule verifier -------------===//
+
+#include "sched/ScheduleVerifier.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/PDG.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+namespace {
+
+/// Placement of one instruction: owning region node plus index in its
+/// block's instruction list.
+struct Placement {
+  unsigned Node = 0;
+  unsigned Idx = 0;
+  bool Valid = false;
+};
+
+/// Placements of every instruction sitting in one of the region's real
+/// blocks of \p F.
+std::vector<Placement> placementsOf(const Function &F, const SchedRegion &R) {
+  std::vector<Placement> P(F.numInstrs());
+  for (unsigned N = 0; N != R.numNodes(); ++N) {
+    if (!R.node(N).isBlock())
+      continue;
+    const std::vector<InstrId> &Instrs = F.block(R.node(N).Block).instrs();
+    for (unsigned K = 0; K != Instrs.size(); ++K) {
+      if (Instrs[K] >= P.size())
+        continue; // structurally ill-formed; the IR verifier reports it
+      P[Instrs[K]] = {N, K, true};
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+std::vector<std::string> gis::verifyRegionSchedule(const Function &Before,
+                                                   const Function &After,
+                                                   const SchedRegion &R,
+                                                   const MachineDescription &MD) {
+  std::vector<std::string> Problems;
+  auto Problem = [&](std::string Msg) {
+    Problems.push_back("region schedule of '" + After.name() + "': " +
+                       std::move(Msg));
+  };
+
+  // The pass reorders block contents only: the CFG shape is inviolable.
+  if (Before.numBlocks() != After.numBlocks() ||
+      Before.numInstrs() > After.numInstrs() ||
+      Before.layout() != After.layout()) {
+    Problem("CFG shape changed across a pure scheduling pass");
+    return Problems;
+  }
+
+  std::vector<bool> InRegion(Before.numBlocks(), false);
+  for (const RegionNode &N : R.nodes())
+    if (N.isBlock())
+      InRegion[N.Block] = true;
+  for (BlockId B = 0; B != Before.numBlocks(); ++B)
+    if (!InRegion[B] && Before.block(B).instrs() != After.block(B).instrs())
+      Problem(formatString("block %s outside the region changed",
+                           Before.block(B).label().c_str()));
+
+  // Conservation: the region holds exactly the original instructions.
+  std::vector<InstrId> OldIds, NewIds;
+  for (const RegionNode &N : R.nodes()) {
+    if (!N.isBlock())
+      continue;
+    const auto &BI = Before.block(N.Block).instrs();
+    const auto &AI = After.block(N.Block).instrs();
+    OldIds.insert(OldIds.end(), BI.begin(), BI.end());
+    NewIds.insert(NewIds.end(), AI.begin(), AI.end());
+  }
+  std::sort(OldIds.begin(), OldIds.end());
+  std::sort(NewIds.begin(), NewIds.end());
+  if (OldIds != NewIds) {
+    Problem(formatString("region instructions not conserved (%zu before, "
+                         "%zu after)",
+                         OldIds.size(), NewIds.size()));
+    return Problems; // placements below assume conservation
+  }
+
+  std::vector<unsigned> TopoPos(R.numNodes(), ~0u);
+  for (unsigned K = 0; K != R.topoOrder().size(); ++K)
+    TopoPos[R.topoOrder()[K]] = K;
+
+  PDG P = PDG::build(Before, R, MD);
+  const DataDeps &DD = P.dataDeps();
+  std::vector<Placement> NewPos = placementsOf(After, R);
+
+  // Dependence order: every recorded DDG edge still runs forward.  (The
+  // DDG is transitively reduced; per-edge order is transitive, so checking
+  // recorded edges enforces all implied ones.)
+  auto NodePosOk = [&](unsigned FromNode, unsigned ToNode, unsigned FromIdx,
+                       unsigned ToIdx) {
+    if (FromNode != ToNode)
+      return TopoPos[FromNode] < TopoPos[ToNode];
+    return FromIdx < ToIdx;
+  };
+  for (const DepEdge &E : DD.edges()) {
+    const DataDeps::Node &FN = DD.ddgNode(E.From);
+    const DataDeps::Node &TN = DD.ddgNode(E.To);
+    if (FN.isBarrier() && TN.isBarrier())
+      continue; // summaries never move
+    bool Ok;
+    if (FN.isBarrier())
+      Ok = TopoPos[FN.RegionNode] < TopoPos[NewPos[TN.Instr].Node];
+    else if (TN.isBarrier())
+      Ok = TopoPos[NewPos[FN.Instr].Node] < TopoPos[TN.RegionNode];
+    else
+      Ok = NodePosOk(NewPos[FN.Instr].Node, NewPos[TN.Instr].Node,
+                     NewPos[FN.Instr].Idx, NewPos[TN.Instr].Idx);
+    if (!Ok)
+      Problem(formatString("%s dependence %u -> %u no longer runs forward",
+                           depKindName(E.Kind),
+                           FN.isBarrier() ? ~0u : FN.Instr,
+                           TN.isBarrier() ? ~0u : TN.Instr));
+  }
+
+  // Per-motion legality: upward only, pinned instructions stay, no
+  // duplication-class motion, and the Section 5.3 live-on-exit rule.
+  Liveness LVBefore = Liveness::compute(Before);
+  Liveness LVAfter = Liveness::compute(After);
+  for (unsigned N = 0; N != DD.numNodes(); ++N) {
+    const DataDeps::Node &Node = DD.ddgNode(N);
+    if (Node.isBarrier())
+      continue;
+    InstrId I = Node.Instr;
+    unsigned OldNode = Node.RegionNode;
+    if (!NewPos[I].Valid)
+      continue; // conservation already reported
+    unsigned NewNode = NewPos[I].Node;
+    if (OldNode == NewNode)
+      continue;
+
+    if (Before.instr(I).neverCrossesBlock()) {
+      Problem(formatString("pinned instruction %u crossed blocks", I));
+      continue;
+    }
+    if (!(TopoPos[NewNode] < TopoPos[OldNode])) {
+      Problem(formatString("instruction %u moved downward", I));
+      continue;
+    }
+    MotionClass MC = P.classifyMotion(OldNode, NewNode);
+    if (MC.Kind == MotionKind::Duplication || MC.Kind == MotionKind::SpecAndDup)
+      Problem(formatString("instruction %u moved off the dominance spine "
+                           "(requires duplication)",
+                           I));
+    if (MC.Kind != MotionKind::Speculative)
+      continue;
+
+    // Speculative motion must not kill a register a bypassed path reads.
+    // A renamed def is a fresh register (never live anywhere in the
+    // original) and thus always safe; an un-renamed def is illegal when it
+    // was live on exit from the target block before the pass and a
+    // surviving read keeps it live there after the pass.
+    BlockId ABlock = R.node(NewNode).Block;
+    for (Reg D : After.instr(I).defs()) {
+      if (!Before.instr(I).definesReg(D))
+        continue; // renamed: fresh register
+      if (LVBefore.isLiveOut(ABlock, D) && LVAfter.isLiveOut(ABlock, D))
+        Problem(formatString("speculative instruction %u kills %s, live on "
+                             "exit from %s",
+                             I, D.str().c_str(),
+                             After.block(ABlock).label().c_str()));
+    }
+  }
+
+  // Parallel write-after-read: two motions from dependence-unordered
+  // source blocks land in the same target block; a write of D placed
+  // ahead of a read of D would feed the read the wrong value, and no DDG
+  // edge exists to order them (the homes are on parallel paths).
+  for (unsigned N = 0; N != R.numNodes(); ++N) {
+    if (!R.node(N).isBlock())
+      continue;
+    const std::vector<InstrId> &List = After.block(R.node(N).Block).instrs();
+    std::vector<std::pair<unsigned, InstrId>> MovedIn; // (ddg node, instr)
+    for (InstrId I : List) {
+      int DN = DD.nodeOfInstr(I);
+      if (DN >= 0 && DD.ddgNode(DN).RegionNode != N)
+        MovedIn.push_back({static_cast<unsigned>(DN), I});
+    }
+    for (unsigned A = 0; A != MovedIn.size(); ++A)
+      for (unsigned B = A + 1; B != MovedIn.size(); ++B) {
+        auto [XN, X] = MovedIn[A]; // placed earlier
+        auto [YN, Y] = MovedIn[B]; // placed later
+        if (DD.depends(XN, YN) || DD.depends(YN, XN))
+          continue; // ordered by the DDG; covered by the edge check
+        for (Reg D : After.instr(X).defs())
+          if (After.instr(Y).usesReg(D))
+            Problem(formatString("write of %s (instruction %u) reordered "
+                                 "ahead of a parallel read (instruction %u)",
+                                 D.str().c_str(), X, Y));
+      }
+  }
+
+  return Problems;
+}

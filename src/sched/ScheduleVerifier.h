@@ -1,0 +1,67 @@
+//===- sched/ScheduleVerifier.h - Semantic schedule verifier ----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A semantic verifier for one global-scheduling region pass: given the
+/// function before and after the pass (same CFG, reordered/moved
+/// instructions), it mechanically re-checks the paper's legality rules for
+/// every inter-block motion:
+///
+///  - conservation: region blocks hold exactly the same instructions, and
+///    blocks outside the region are untouched;
+///  - dependence order: every data-dependence edge of the region's DDG
+///    (built on the *original* function) still runs forward in the new
+///    placement;
+///  - motion discipline: motion is upward only, never moves pinned
+///    (call/branch) instructions, and never requires duplication
+///    (Definition 6 motions are a separate pass);
+///  - live-on-exit rule (Section 5.3): a speculatively moved instruction
+///    must not kill a register that a bypassed path still reads -- checked
+///    as "the (un-renamed) def is live on exit from the target block both
+///    before and after the pass";
+///  - parallel write-after-read order: a moved write must not be placed
+///    ahead of a dependence-unordered moved read of the same register in
+///    the target block (the paths are parallel, so the DDG has no edge to
+///    order them; the read must keep seeing the value from above).
+///
+/// This is the CFG/PDG semantic-equivalence contract checked structurally;
+/// the interpreter-based differential oracle (interp/DifferentialOracle.h)
+/// complements it with end-to-end execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SCHED_SCHEDULEVERIFIER_H
+#define GIS_SCHED_SCHEDULEVERIFIER_H
+
+#include "analysis/Region.h"
+#include "ir/Function.h"
+#include "machine/MachineDescription.h"
+
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// Re-checks every motion of one region scheduling pass.  \p Before is the
+/// function as it was when \p R was built; \p After is the transformed
+/// function (same blocks and layout, possibly different block contents).
+/// Returns human-readable problems; empty means the schedule is legal.
+std::vector<std::string> verifyRegionSchedule(const Function &Before,
+                                              const Function &After,
+                                              const SchedRegion &R,
+                                              const MachineDescription &MD);
+
+/// Convenience: true when verifyRegionSchedule reports no problems.
+inline bool isScheduleLegal(const Function &Before, const Function &After,
+                            const SchedRegion &R,
+                            const MachineDescription &MD) {
+  return verifyRegionSchedule(Before, After, R, MD).empty();
+}
+
+} // namespace gis
+
+#endif // GIS_SCHED_SCHEDULEVERIFIER_H

@@ -3,6 +3,7 @@
 #include "sched/Unroll.h"
 
 #include "sched/LoopShape.h"
+#include "support/Assert.h"
 
 #include <algorithm>
 #include <map>
@@ -35,9 +36,20 @@ bool gis::canUnrollOnce(const Function &F, const LoopInfo &LI,
   return true;
 }
 
-bool gis::unrollLoopOnce(Function &F, const LoopInfo &LI, unsigned LoopIdx) {
+bool gis::unrollLoopOnce(Function &F, const LoopInfo &LI, unsigned LoopIdx,
+                         Status *Err) {
+  if (Err)
+    *Err = Status::ok();
   if (!canUnrollOnce(F, LI, LoopIdx))
     return false;
+  // Mid-flight invariant failure: report and leave rollback to the caller,
+  // or abort when no error channel was provided.
+  auto Fail = [&](const char *Msg) {
+    if (!Err)
+      fatalError(__FILE__, __LINE__, Msg);
+    *Err = Status::error(ErrorCode::LoopTransformFailed, Msg);
+    return false;
+  };
   const Loop &L = LI.loop(LoopIdx);
   std::vector<BlockId> Blocks = contiguousLoopBlocks(F, L);
   BlockId Last = Blocks.back();
@@ -72,21 +84,22 @@ bool gis::unrollLoopOnce(Function &F, const LoopInfo &LI, unsigned LoopIdx) {
   BlockId FirstCopy = CopyOf[Blocks.front()];
   for (BlockId Latch : L.Latches) {
     InstrId Term = F.terminatorOf(Latch);
-    GIS_ASSERT(Term != InvalidId, "latch without terminator");
+    if (Term == InvalidId)
+      return Fail("latch without terminator");
     Instruction &T = F.instr(Term);
-    GIS_ASSERT(T.isBranch() && T.target() == L.Header,
-               "latch terminator must branch to the header");
+    if (!T.isBranch() || T.target() != L.Header)
+      return Fail("latch terminator must branch to the header");
     if (Latch == Last && (T.opcode() == Opcode::BT || T.opcode() == Opcode::BF)) {
       // The copies sit on this block's fall-through path now.  Invert the
       // branch so the exit keeps its explicit target and the loop-again
       // path becomes the fall-through into the first copy.
       BlockId FallThrough = F.layoutSuccessor(Latch);
-      GIS_ASSERT(FallThrough == FirstCopy,
-                 "first copy must follow the last loop block");
-      BlockId Exit = InvalidId;
+      if (FallThrough != FirstCopy)
+        return Fail("first copy must follow the last loop block");
       // The original fall-through (the exit) is now behind all copies.
-      Exit = F.layoutSuccessor(CopyOf[Last]);
-      GIS_ASSERT(Exit != InvalidId, "loop exit fell off the layout");
+      BlockId Exit = F.layoutSuccessor(CopyOf[Last]);
+      if (Exit == InvalidId)
+        return Fail("loop exit fell off the layout");
       T.setOpcode(T.opcode() == Opcode::BT ? Opcode::BF : Opcode::BT);
       T.setTarget(Exit);
     } else {

@@ -19,6 +19,7 @@
 
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
+#include "support/Status.h"
 
 namespace gis {
 
@@ -34,7 +35,13 @@ bool canUnrollOnce(const Function &F, const LoopInfo &LI, unsigned LoopIdx);
 /// loop shape is unsupported.  On success the caller must recompute CFG
 /// consumers (LoopInfo etc.); the function's CFG edge lists and original
 /// order are refreshed.
-bool unrollLoopOnce(Function &F, const LoopInfo &LI, unsigned LoopIdx);
+///
+/// With \p Err non-null, a mid-flight invariant failure is reported
+/// through it and the function may be left partially transformed -- the
+/// caller owns a checkpoint and must roll back.  With \p Err null such
+/// failures abort.
+bool unrollLoopOnce(Function &F, const LoopInfo &LI, unsigned LoopIdx,
+                    Status *Err = nullptr);
 
 } // namespace gis
 

@@ -1,0 +1,25 @@
+//===- support/Diagnostics.cpp - Structured pass diagnostics ---------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Format.h"
+
+using namespace gis;
+
+std::string Diagnostic::str() const {
+  return formatString("%s/%s(loop %d): %s: %s", Function.c_str(),
+                      Stage.c_str(), LoopIndex, errorCodeName(Code),
+                      Message.c_str());
+}
+
+void gis::reportDiagnostic(std::vector<Diagnostic> &Sink, const Status &S,
+                           const std::string &Function,
+                           const std::string &Stage, int LoopIndex) {
+  Diagnostic D;
+  D.Code = S.code();
+  D.Function = Function;
+  D.Stage = Stage;
+  D.LoopIndex = LoopIndex;
+  D.Message = S.message();
+  Sink.push_back(std::move(D));
+}

@@ -1,0 +1,46 @@
+//===- support/Diagnostics.h - Structured pass diagnostics ------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured diagnostics for the transactional scheduling pipeline.  Each
+/// rolled-back or degraded transform produces one Diagnostic record (which
+/// pass, which region, what went wrong); the records are collected into
+/// PipelineStats so a batch compile can report every skipped region without
+/// ever aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_DIAGNOSTICS_H
+#define GIS_SUPPORT_DIAGNOSTICS_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// One recoverable failure observed by the pipeline.
+struct Diagnostic {
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Function; ///< function being transformed
+  std::string Stage;    ///< pipeline stage ("unroll", "region", "local", ...)
+  int LoopIndex = -1;   ///< region loop index (-1: top level / whole function)
+  std::string Message;  ///< human-readable detail
+
+  /// Renders "function/stage(loop): code: message".
+  std::string str() const;
+};
+
+/// Appends a diagnostic built from \p S to \p Sink.
+void reportDiagnostic(std::vector<Diagnostic> &Sink, const Status &S,
+                      const std::string &Function, const std::string &Stage,
+                      int LoopIndex);
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,65 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ----------===//
+
+#include "support/FaultInjection.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace gis;
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Singleton;
+  return Singleton;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char *Spec = std::getenv("GIS_FAULT_INJECT"))
+    arm(Spec);
+}
+
+void FaultInjector::arm(const std::string &Spec) {
+  Stage.clear();
+  Trigger = 1;
+  Seen = 0;
+  Fired = 0;
+  if (Spec.empty())
+    return;
+  size_t Colon = Spec.find(':');
+  Stage = Spec.substr(0, Colon);
+  if (Colon != std::string::npos) {
+    unsigned long N = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
+    Trigger = N > 0 ? static_cast<unsigned>(N) : 1;
+  }
+}
+
+bool FaultInjector::shouldFire(const char *StageName) {
+  if (Stage.empty() || Fired > 0 || Stage != StageName)
+    return false;
+  if (++Seen != Trigger)
+    return false;
+  ++Fired;
+  return true;
+}
+
+bool gis::corruptFunctionForTest(Function &F) {
+  // Prefer a reordering corruption that the structural verifier is
+  // guaranteed to catch: a reversed block puts its terminator first.
+  for (BlockId B : F.layout()) {
+    std::vector<InstrId> &Instrs = F.block(B).instrs();
+    if (Instrs.size() >= 2 && F.terminatorOf(B) != InvalidId) {
+      std::reverse(Instrs.begin(), Instrs.end());
+      return true;
+    }
+  }
+  // Fallback: one instruction in two positions.
+  for (BlockId B : F.layout()) {
+    std::vector<InstrId> &Instrs = F.block(B).instrs();
+    if (!Instrs.empty()) {
+      Instrs.push_back(Instrs.front());
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,76 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the transactional pipeline.  The
+/// rollback paths are only trustworthy if they are exercised; this hook
+/// corrupts the output of a chosen transform on its Nth occurrence so the
+/// verifier/rollback machinery can be tested end to end.
+///
+/// Armed either programmatically (tests) or with the GIS_FAULT_INJECT
+/// environment variable, whose value is "<stage>" or "<stage>:<n>": the
+/// stage is one of the pipeline stage names ("prerename", "unroll",
+/// "rotate", "region", "duplicate", "local") and n is the 1-based
+/// occurrence of that stage to corrupt (default 1).  The fault fires once
+/// per arming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_FAULTINJECTION_H
+#define GIS_SUPPORT_FAULTINJECTION_H
+
+#include <string>
+
+namespace gis {
+
+class Function;
+
+/// Process-wide fault-injection state (the project is single-threaded).
+class FaultInjector {
+public:
+  /// The singleton; on first use it arms itself from GIS_FAULT_INJECT if
+  /// the variable is set.
+  static FaultInjector &instance();
+
+  /// Arms the injector from a "<stage>[:<n>]" spec; empty disarms.
+  /// Re-arming resets the occurrence and fire counters.
+  void arm(const std::string &Spec);
+  void disarm() { arm(""); }
+
+  bool armed() const { return !Stage.empty(); }
+  const std::string &stage() const { return Stage; }
+  unsigned trigger() const { return Trigger; }
+
+  /// Call once per occurrence of \p StageName; returns true exactly when
+  /// the armed stage's Nth occurrence is reached (one-shot: subsequent
+  /// occurrences return false until re-armed).
+  bool shouldFire(const char *StageName);
+
+  /// Number of times this arming has fired (0 or 1).
+  unsigned firedCount() const { return Fired; }
+
+private:
+  FaultInjector();
+
+  std::string Stage;
+  unsigned Trigger = 1;
+  unsigned Seen = 0;
+  unsigned Fired = 0;
+};
+
+/// Deterministically corrupts \p F the way a buggy transform would:
+/// reverses the instruction list of the first block that ends in a
+/// terminator and has at least two instructions (the terminator lands
+/// first -- structurally ill-formed), or, failing that, appends a
+/// duplicate of the first instruction of the first nonempty block (one
+/// instruction in two positions).  Returns false when the function has no
+/// corruptible block.
+bool corruptFunctionForTest(Function &F);
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_FAULTINJECTION_H

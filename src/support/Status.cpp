@@ -1,0 +1,33 @@
+//===- support/Status.cpp - Recoverable-error channel ----------------------===//
+
+#include "support/Status.h"
+
+using namespace gis;
+
+const char *gis::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::SchedulerDivergence:
+    return "scheduler-divergence";
+  case ErrorCode::SchedulerInconsistency:
+    return "scheduler-inconsistency";
+  case ErrorCode::VerifierStructural:
+    return "verifier-structural";
+  case ErrorCode::VerifierSemantic:
+    return "verifier-semantic";
+  case ErrorCode::OracleMismatch:
+    return "oracle-mismatch";
+  case ErrorCode::LoopTransformFailed:
+    return "loop-transform-failed";
+  case ErrorCode::FaultInjected:
+    return "fault-injected";
+  }
+  return "unknown";
+}
+
+std::string Status::str() const {
+  if (isOk())
+    return "ok";
+  return std::string(errorCodeName(Code)) + ": " + Message;
+}

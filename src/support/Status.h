@@ -1,0 +1,84 @@
+//===- support/Status.h - Recoverable-error channel -------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured error channel for recoverable conditions.  The paper's
+/// contract is that every transformation preserves program semantics; when
+/// an internal invariant of a *transformation* breaks, the right response
+/// for a production compiler is to report the condition, roll the function
+/// back, and keep going -- not to abort the process.  GIS_ASSERT remains
+/// for genuine memory-safety invariants (pool/index bounds); everything a
+/// caller can recover from travels through Status instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_STATUS_H
+#define GIS_SUPPORT_STATUS_H
+
+#include <string>
+#include <utility>
+
+namespace gis {
+
+/// Machine-readable classification of a recoverable failure.
+enum class ErrorCode : uint8_t {
+  Ok = 0,
+  /// The list-scheduling engine hit its cycle cap without placing every
+  /// own instruction of the target block.
+  SchedulerDivergence,
+  /// An internal consistency invariant of a scheduling pass failed (e.g. a
+  /// moved instruction was not found at its home block).
+  SchedulerInconsistency,
+  /// The structural IR verifier found problems after a transformation.
+  VerifierStructural,
+  /// The semantic schedule verifier rejected an inter-block motion
+  /// (dependence order or live-on-exit rule violated).
+  VerifierSemantic,
+  /// The differential interpreter oracle observed a behaviour mismatch
+  /// between the original and the transformed function.
+  OracleMismatch,
+  /// A loop transformation (unroll / rotate) failed mid-flight.
+  LoopTransformFailed,
+  /// A deliberately injected fault (GIS_FAULT_INJECT) corrupted the
+  /// transform output; recorded when the corruption itself is reported.
+  FaultInjected,
+};
+
+/// Returns a short stable name for \p C ("ok", "scheduler-divergence", ...).
+const char *errorCodeName(ErrorCode C);
+
+/// A success-or-error value.  Default-constructed Status is success; errors
+/// carry a code and a human-readable message.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode C, std::string Msg) {
+    Status S;
+    S.Code = C;
+    S.Message = std::move(Msg);
+    return S;
+  }
+
+  bool isOk() const { return Code == ErrorCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// Renders "code: message" for diagnostics.
+  std::string str() const;
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Message;
+};
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_STATUS_H

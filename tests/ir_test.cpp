@@ -214,7 +214,9 @@ TEST(VerifierTest, AcceptsWellFormedDiamond) {
 
 TEST(ModuleTest, GlobalAllocationIsDisjoint) {
   Module M;
-  const GlobalArray &A = M.allocateGlobal("a", 100);
+  // Copy the first descriptor: the reference returned by allocateGlobal is
+  // invalidated by the next allocation (the globals vector may grow).
+  const GlobalArray A = M.allocateGlobal("a", 100);
   const GlobalArray &B = M.allocateGlobal("b", 50);
   EXPECT_LT(A.Address + A.SizeWords * 4, B.Address);
   EXPECT_EQ(M.globals().size(), 2u);

@@ -1,0 +1,203 @@
+//===- tests/schedverifier_test.cpp - Semantic schedule verifier tests -----===//
+//
+// The semantic verifier (sched/ScheduleVerifier.h) re-checks the paper's
+// motion legality rules on before/after function pairs.  These tests build
+// small diamonds by hand, apply legal and illegal motions directly to the
+// block instruction lists, and check that exactly the illegal ones are
+// flagged: an illegal speculative motion that kills a live-on-exit
+// register (Section 5.3), and a reorder that breaks a dependence edge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "analysis/Region.h"
+#include "ir/Parser.h"
+#include "sched/ScheduleVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+/// A diamond whose entry BL0 and join BL2 are equivalent (BL0 dominates
+/// BL2, BL2 postdominates BL0); BL1 is conditional.
+const char *Diamond = R"(
+func diamond {
+BL0:
+  LI r1 = 1
+  C cr0 = r1, r1
+  BF BL2, cr0, gt
+BL1:
+  LI r2 = 7
+  AI r3 = r2, 1
+BL2:
+  LI r4 = 9
+  AI r5 = r4, 1
+  CALL print(r5)
+  RET
+}
+)";
+
+/// Same shape, but the conditional block redefines a register the join
+/// still reads: moving that redefinition up kills r1 on the bypassing
+/// BL0 -> BL2 path.
+const char *Killer = R"(
+func killer {
+BL0:
+  LI r1 = 1
+  C cr0 = r1, r1
+  BF BL2, cr0, gt
+BL1:
+  LI r1 = 99
+BL2:
+  CALL print(r1)
+  RET
+}
+)";
+
+const char *Straight = R"(
+func straight {
+BL0:
+  LI r1 = 1
+  AI r2 = r1, 2
+  CALL print(r2)
+  RET
+}
+)";
+
+BlockId blockByLabel(const Function &F, const std::string &Label) {
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    if (F.block(B).label() == Label)
+      return B;
+  ADD_FAILURE() << "no block " << Label;
+  return InvalidId;
+}
+
+/// Moves the instruction at \p FromIdx of block \p From to position
+/// \p ToIdx of block \p To -- the raw effect of one inter-block motion.
+void moveInstr(Function &F, BlockId From, unsigned FromIdx, BlockId To,
+               unsigned ToIdx) {
+  std::vector<InstrId> &Src = F.block(From).instrs();
+  ASSERT_LT(FromIdx, Src.size());
+  InstrId I = Src[FromIdx];
+  Src.erase(Src.begin() + FromIdx);
+  std::vector<InstrId> &Dst = F.block(To).instrs();
+  ASSERT_LE(ToIdx, Dst.size());
+  Dst.insert(Dst.begin() + ToIdx, I);
+}
+
+/// Parses \p Text and builds the top-level scheduling region.
+struct RegionFixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  SchedRegion R;
+
+  explicit RegionFixture(const char *Text) : M(parseModuleOrDie(Text)) {
+    F = M->functions()[0].get();
+    F->recomputeCFG();
+    F->renumberOriginalOrder();
+    LoopInfo LI = LoopInfo::compute(*F);
+    R = SchedRegion::build(*F, LI, -1);
+  }
+};
+
+std::string joined(const std::vector<std::string> &Problems) {
+  std::string Out;
+  for (const std::string &P : Problems)
+    Out += P + "\n";
+  return Out;
+}
+
+bool anyContains(const std::vector<std::string> &Problems,
+                 const std::string &Needle) {
+  for (const std::string &P : Problems)
+    if (P.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ScheduleVerifierTest, IdentityScheduleIsLegal) {
+  RegionFixture Fix(Diamond);
+  Function After = *Fix.F;
+  EXPECT_TRUE(isScheduleLegal(*Fix.F, After, Fix.R,
+                              MachineDescription::rs6k()));
+}
+
+TEST(ScheduleVerifierTest, LegalUsefulMotionPasses) {
+  RegionFixture Fix(Diamond);
+  Function After = *Fix.F;
+  // BL2 is equivalent to BL0: moving "LI r4 = 9" from the join into the
+  // entry (above the branch) is a useful motion, always legal.
+  moveInstr(After, blockByLabel(After, "BL2"), 0, blockByLabel(After, "BL0"),
+            2);
+  std::vector<std::string> Problems = verifyRegionSchedule(
+      *Fix.F, After, Fix.R, MachineDescription::rs6k());
+  EXPECT_TRUE(Problems.empty()) << joined(Problems);
+}
+
+TEST(ScheduleVerifierTest, LegalSpeculativeMotionPasses) {
+  RegionFixture Fix(Diamond);
+  Function After = *Fix.F;
+  // "LI r2 = 7" moves from the conditional BL1 into BL0: speculative, but
+  // r2 is dead on the bypassing path, so the Section 5.3 rule holds.
+  moveInstr(After, blockByLabel(After, "BL1"), 0, blockByLabel(After, "BL0"),
+            2);
+  std::vector<std::string> Problems = verifyRegionSchedule(
+      *Fix.F, After, Fix.R, MachineDescription::rs6k());
+  EXPECT_TRUE(Problems.empty()) << joined(Problems);
+}
+
+TEST(ScheduleVerifierTest, SpeculativeMotionKillingLiveOnExitIsFlagged) {
+  RegionFixture Fix(Killer);
+  Function After = *Fix.F;
+  // "LI r1 = 99" moves from the conditional BL1 into BL0.  BL2 reads r1 on
+  // the path that bypasses BL1, so the motion kills a live-on-exit value
+  // (the scheduler would have to rename r1 to make this legal).
+  moveInstr(After, blockByLabel(After, "BL1"), 0, blockByLabel(After, "BL0"),
+            2);
+  std::vector<std::string> Problems = verifyRegionSchedule(
+      *Fix.F, After, Fix.R, MachineDescription::rs6k());
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_TRUE(anyContains(Problems, "kills")) << joined(Problems);
+}
+
+TEST(ScheduleVerifierTest, DependenceReorderIsFlagged) {
+  RegionFixture Fix(Straight);
+  Function After = *Fix.F;
+  // Swap the producer "LI r1 = 1" with its consumer "AI r2 = r1, 2": the
+  // flow dependence now runs backward.
+  std::vector<InstrId> &Instrs =
+      After.block(blockByLabel(After, "BL0")).instrs();
+  std::swap(Instrs[0], Instrs[1]);
+  std::vector<std::string> Problems = verifyRegionSchedule(
+      *Fix.F, After, Fix.R, MachineDescription::rs6k());
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_TRUE(anyContains(Problems, "dependence")) << joined(Problems);
+}
+
+TEST(ScheduleVerifierTest, DroppedInstructionBreaksConservation) {
+  RegionFixture Fix(Diamond);
+  Function After = *Fix.F;
+  std::vector<InstrId> &Instrs =
+      After.block(blockByLabel(After, "BL1")).instrs();
+  Instrs.erase(Instrs.begin());
+  std::vector<std::string> Problems = verifyRegionSchedule(
+      *Fix.F, After, Fix.R, MachineDescription::rs6k());
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_TRUE(anyContains(Problems, "conserved")) << joined(Problems);
+}
+
+TEST(ScheduleVerifierTest, MovedTerminatorIsFlagged) {
+  RegionFixture Fix(Diamond);
+  Function After = *Fix.F;
+  // Branches are pinned: hoisting BL1's whole contents is representable,
+  // but moving the BF terminator of BL0 down into BL2 never is.
+  moveInstr(After, blockByLabel(After, "BL0"), 2, blockByLabel(After, "BL2"),
+            0);
+  std::vector<std::string> Problems = verifyRegionSchedule(
+      *Fix.F, After, Fix.R, MachineDescription::rs6k());
+  EXPECT_FALSE(Problems.empty());
+}

@@ -1,0 +1,315 @@
+//===- tests/transactional_test.cpp - Transactional pipeline tests ---------===//
+//
+// End-to-end tests of the failure model: random programs run through the
+// full pipeline with the differential oracle checking every transaction;
+// deterministic fault injection corrupts each stage in turn and the
+// pipeline must never abort, never emit ill-formed IR, and roll the
+// function back bit-identically to its checkpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CodeGen.h"
+#include "interp/DifferentialOracle.h"
+#include "interp/Interpreter.h"
+#include "ir/Checkpoint.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "sched/Pipeline.h"
+#include "support/FaultInjection.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace gis;
+
+namespace {
+
+struct Observed {
+  bool Trapped;
+  std::string TrapReason;
+  std::vector<int64_t> Printed;
+  int64_t ReturnValue;
+  std::vector<std::pair<int64_t, int64_t>> Memory;
+};
+
+/// Runs `main` of \p M and captures everything observable.  The generous
+/// step budget accommodates the occasional long-running random program.
+Observed observe(const Module &M) {
+  Observed O;
+  Interpreter I(M);
+  Function *Main = const_cast<Module &>(M).findFunction("main");
+  EXPECT_NE(Main, nullptr);
+  ExecResult R = I.run(*Main, 50'000'000);
+  O.TrapReason = R.TrapReason;
+  O.Trapped = R.Trapped;
+  O.Printed = R.Printed;
+  O.ReturnValue = R.ReturnValue;
+  for (const auto &[Addr, Val] : I.memory())
+    if (Val != 0)
+      O.Memory.emplace_back(Addr, Val);
+  std::sort(O.Memory.begin(), O.Memory.end());
+  return O;
+}
+
+/// The pipeline configurations the fuzz tests cover: local-only, useful,
+/// the paper's full speculative pipeline, and the duplication extension.
+PipelineOptions configOpts(int Config) {
+  PipelineOptions Opts;
+  switch (Config) {
+  case 0:
+    Opts.Level = SchedLevel::None;
+    break;
+  case 1:
+    Opts.Level = SchedLevel::Useful;
+    Opts.EnableUnroll = false;
+    Opts.EnableRotate = false;
+    break;
+  case 2: // the paper's full pipeline
+    Opts.Level = SchedLevel::Speculative;
+    break;
+  case 3: // future-work extension: scheduling with duplication
+    Opts.Level = SchedLevel::Speculative;
+    Opts.AllowDuplication = true;
+    break;
+  default:
+    ADD_FAILURE();
+  }
+  return Opts;
+}
+
+std::string diagDump(const PipelineStats &Stats) {
+  std::string Out;
+  for (const Diagnostic &D : Stats.Diags)
+    Out += D.str() + "\n";
+  return Out;
+}
+
+void expectSameBehaviour(const Module &Base, const Module &Sched,
+                         const std::string &Source) {
+  Observed A = observe(Base);
+  if (A.Trapped && A.TrapReason == "step budget exhausted")
+    return; // pathological long-runner; the in-pipeline oracle covered it
+  Observed B = observe(Sched);
+  ASSERT_FALSE(A.Trapped) << Source;
+  ASSERT_FALSE(B.Trapped) << Source;
+  EXPECT_EQ(A.Printed, B.Printed) << Source;
+  EXPECT_EQ(A.ReturnValue, B.ReturnValue) << Source;
+  EXPECT_EQ(A.Memory, B.Memory) << Source;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Oracle fuzz: every transaction of every config differentially executed
+//===----------------------------------------------------------------------===
+
+class TransactionalOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+// 50 seeds x 4 configs = 200 random programs.  With the oracle enabled the
+// pipeline differentially executes the function after every transform; a
+// single mismatch (or a verifier false positive, visible as a rollback
+// without an injected fault) fails the test.
+TEST_P(TransactionalOracleTest, NoMismatchesAndNoSpuriousRollbacks) {
+  auto [Seed, Config] = GetParam();
+  std::string Source = generateRandomMiniC(Seed);
+  CompileResult Base = compileMiniC(Source);
+  ASSERT_TRUE(Base.ok()) << Base.Error << "\n" << Source;
+  CompileResult Sched = compileMiniC(Source);
+  ASSERT_TRUE(Sched.ok());
+
+  PipelineOptions Opts = configOpts(Config);
+  Opts.EnableOracle = true;
+  Opts.OracleMaxSteps = 200'000;
+  PipelineStats Stats =
+      scheduleModule(*Sched.M, MachineDescription::rs6k(), Opts);
+
+  EXPECT_EQ(Stats.OracleMismatches, 0u) << diagDump(Stats) << Source;
+  EXPECT_EQ(Stats.VerifierFailures, 0u) << diagDump(Stats) << Source;
+  EXPECT_EQ(Stats.EngineFailures, 0u) << diagDump(Stats) << Source;
+  EXPECT_EQ(Stats.RegionsRolledBack + Stats.TransformsRolledBack, 0u)
+      << diagDump(Stats) << Source;
+  ASSERT_TRUE(verifyModule(*Sched.M).empty()) << Source;
+  expectSameBehaviour(*Base.M, *Sched.M, Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, TransactionalOracleTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 51),
+                       ::testing::Values(0, 1, 2, 3)));
+
+//===----------------------------------------------------------------------===
+// Fault injection: corrupt each stage in turn
+//===----------------------------------------------------------------------===
+
+class FaultMatrixTest : public ::testing::TestWithParam<const char *> {
+protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+// For each pipeline stage, scan seeds until the armed fault fires (the
+// stage must occur in at least one of the programs).  Every run -- faulted
+// or not -- must leave well-formed IR with unchanged behaviour, and a
+// fired fault must be caught by a verifier and rolled back.
+TEST_P(FaultMatrixTest, CorruptionIsCaughtAndRolledBack) {
+  const char *Stage = GetParam();
+  unsigned TotalFaults = 0;
+  for (uint64_t Seed = 1; Seed <= 40 && TotalFaults == 0; ++Seed) {
+    std::string Source = generateRandomMiniC(Seed);
+    CompileResult Base = compileMiniC(Source);
+    ASSERT_TRUE(Base.ok()) << Base.Error;
+    CompileResult Sched = compileMiniC(Source);
+    ASSERT_TRUE(Sched.ok());
+
+    PipelineOptions Opts;
+    Opts.Level = SchedLevel::Speculative;
+    Opts.AllowDuplication = true; // so the "duplicate" stage exists
+    FaultInjector::instance().arm(Stage);
+    PipelineStats Stats =
+        scheduleModule(*Sched.M, MachineDescription::rs6k(), Opts);
+    FaultInjector::instance().disarm();
+
+    ASSERT_TRUE(verifyModule(*Sched.M).empty())
+        << "stage " << Stage << " seed " << Seed;
+    if (Stats.FaultsInjected > 0) {
+      EXPECT_EQ(Stats.FaultsInjected, 1u);
+      EXPECT_GE(Stats.VerifierFailures, 1u) << diagDump(Stats);
+      EXPECT_GE(Stats.RegionsRolledBack + Stats.TransformsRolledBack, 1u)
+          << diagDump(Stats);
+      EXPECT_FALSE(Stats.Diags.empty());
+      TotalFaults += Stats.FaultsInjected;
+    }
+    expectSameBehaviour(*Base.M, *Sched.M, Source);
+  }
+  // The stage must have been reachable somewhere in the seed range,
+  // otherwise this test exercises nothing.
+  EXPECT_GE(TotalFaults, 1u) << "stage " << Stage << " never ran";
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, FaultMatrixTest,
+                         ::testing::Values("prerename", "unroll", "region",
+                                           "rotate", "duplicate", "local"));
+
+// A fault in a region-scheduling transaction specifically bumps the
+// region rollback counter.
+TEST(FaultInjectionTest, RegionFaultIncrementsRegionRollback) {
+  std::string Source = generateRandomMiniC(2);
+  CompileResult Base = compileMiniC(Source);
+  ASSERT_TRUE(Base.ok());
+  CompileResult Sched = compileMiniC(Source);
+  ASSERT_TRUE(Sched.ok());
+
+  PipelineOptions Opts;
+  FaultInjector::instance().arm("region");
+  PipelineStats Stats =
+      scheduleModule(*Sched.M, MachineDescription::rs6k(), Opts);
+  FaultInjector::instance().disarm();
+
+  ASSERT_EQ(Stats.FaultsInjected, 1u);
+  EXPECT_GE(Stats.RegionsRolledBack, 1u) << diagDump(Stats);
+  EXPECT_EQ(Stats.TransformsRolledBack, 0u) << diagDump(Stats);
+  ASSERT_TRUE(verifyModule(*Sched.M).empty());
+  expectSameBehaviour(*Base.M, *Sched.M, Source);
+}
+
+//===----------------------------------------------------------------------===
+// Rollback restores the checkpoint bit-identically
+//===----------------------------------------------------------------------===
+
+TEST(RollbackTest, RestoreIsBitIdentical) {
+  std::unique_ptr<Module> M = compileMiniCOrDie(generateRandomMiniC(3));
+  Function &F = *M->functions()[0];
+  F.recomputeCFG();
+  F.renumberOriginalOrder();
+
+  FunctionSnapshot Snap(F);
+  ASSERT_TRUE(corruptFunctionForTest(F));
+  EXPECT_FALSE(functionsIdentical(F, Snap.function()));
+  Snap.restore(F);
+  EXPECT_TRUE(functionsIdentical(F, Snap.function()));
+}
+
+// With global scheduling and pre-renaming off, "local" is the only
+// transaction; corrupting it must leave the first function exactly as the
+// checkpoint had it -- i.e. identical to a never-scheduled compile.
+TEST(RollbackTest, PipelineRollbackLeavesFunctionUntouched) {
+  std::string Source = generateRandomMiniC(5);
+  std::unique_ptr<Module> Ref = compileMiniCOrDie(Source);
+  std::unique_ptr<Module> M = compileMiniCOrDie(Source);
+
+  PipelineOptions Opts;
+  Opts.Level = SchedLevel::None;
+  Opts.EnablePreRenaming = false;
+  FaultInjector::instance().arm("local");
+  PipelineStats Stats = scheduleModule(*M, MachineDescription::rs6k(), Opts);
+  FaultInjector::instance().disarm();
+
+  ASSERT_EQ(Stats.FaultsInjected, 1u);
+  EXPECT_EQ(Stats.TransformsRolledBack, 1u) << diagDump(Stats);
+
+  // The fault fired in the first function's only transaction; rollback
+  // must restore the pre-pipeline state (modulo the pipeline's initial
+  // CFG/order normalization, applied to the reference too).
+  Function &RefF = *Ref->functions()[0];
+  RefF.recomputeCFG();
+  RefF.renumberOriginalOrder();
+  EXPECT_TRUE(functionsIdentical(*M->functions()[0], RefF));
+}
+
+//===----------------------------------------------------------------------===
+// Unit tests: fault injector and differential oracle
+//===----------------------------------------------------------------------===
+
+TEST(FaultInjectorTest, NthOccurrenceOneShot) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.arm("region:2");
+  EXPECT_TRUE(FI.armed());
+  EXPECT_EQ(FI.trigger(), 2u);
+  EXPECT_FALSE(FI.shouldFire("region")); // occurrence 1
+  EXPECT_FALSE(FI.shouldFire("local"));  // different stage never fires
+  EXPECT_TRUE(FI.shouldFire("region"));  // occurrence 2
+  EXPECT_FALSE(FI.shouldFire("region")); // one-shot
+  EXPECT_EQ(FI.firedCount(), 1u);
+  FI.disarm();
+  EXPECT_FALSE(FI.armed());
+  EXPECT_FALSE(FI.shouldFire("region"));
+}
+
+TEST(DifferentialOracleTest, MatchesIdenticalFunctions) {
+  const char *Text = R"(
+func f {
+BL0:
+  LI r1 = 41
+  CALL print(r1)
+  RET
+}
+)";
+  std::unique_ptr<Module> A = parseModuleOrDie(Text);
+  std::unique_ptr<Module> B = parseModuleOrDie(Text);
+  OracleReport Rep = runDifferentialOracle(*A, *A->functions()[0],
+                                           *B->functions()[0]);
+  EXPECT_EQ(Rep.Verdict, OracleVerdict::Match) << Rep.Detail;
+}
+
+TEST(DifferentialOracleTest, FlagsChangedObservableValue) {
+  std::unique_ptr<Module> A = parseModuleOrDie(R"(
+func f {
+BL0:
+  LI r1 = 41
+  CALL print(r1)
+  RET
+}
+)");
+  std::unique_ptr<Module> B = parseModuleOrDie(R"(
+func f {
+BL0:
+  LI r1 = 42
+  CALL print(r1)
+  RET
+}
+)");
+  OracleReport Rep = runDifferentialOracle(*A, *A->functions()[0],
+                                           *B->functions()[0]);
+  EXPECT_EQ(Rep.Verdict, OracleVerdict::Mismatch);
+  EXPECT_FALSE(Rep.Detail.empty());
+}
