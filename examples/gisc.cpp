@@ -2,10 +2,24 @@
 //
 // gisc: compile, schedule, inspect and run programs from the command line.
 //
-//   usage: gisc [options] <input-file>
+//   usage: gisc [options] <input-file>...
 //
 //   The input is mini-C by default, or GIS assembly with --asm (the syntax
 //   of the paper's Figure 2, as printed by --dump-ir).
+//
+//   batch compilation (engine/CompileEngine.h):
+//     --jobs N                   schedule functions on N worker threads
+//                                (0: all hardware threads); implies the
+//                                engine path
+//     --batch FILE               read additional input paths from FILE
+//                                (one per line, '#' comments)
+//     --no-cache                 disable the content-addressed schedule
+//                                cache
+//     Passing several input files (or --jobs/--batch) selects the engine
+//     path: all files are front-ended, every function is scheduled on the
+//     worker pool, and outputs/stats are emitted in input order.  The
+//     engine path supports the scheduling/inspection options below;
+//     --run/--profile/--report need a single input without --jobs/--batch.
 //
 //   scheduling:
 //     --level none|useful|spec   global scheduling level (default spec)
@@ -38,6 +52,7 @@
 #include "analysis/GraphViz.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/RegPressure.h"
+#include "engine/CompileEngine.h"
 #include "frontend/CodeGen.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
@@ -58,7 +73,7 @@ using namespace gis;
 namespace {
 
 struct CliOptions {
-  std::string InputPath;
+  std::vector<std::string> InputPaths;
   bool InputIsAsm = false;
   PipelineOptions Pipeline;
   MachineDescription Machine = MachineDescription::rs6k();
@@ -74,6 +89,10 @@ struct CliOptions {
   std::vector<int64_t> Args;
   bool Cycles = false;
   bool Profile = false;
+  bool EngineRequested = false; ///< --jobs or --batch given
+  unsigned Jobs = 1;
+  bool UseCache = true;
+  std::vector<std::string> BatchFiles;
 };
 
 void usage() {
@@ -180,16 +199,80 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Cycles = true;
     } else if (A == "--profile") {
       Cli.Profile = true;
+    } else if (A == "--jobs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Jobs = static_cast<unsigned>(std::atoi(V));
+      Cli.EngineRequested = true;
+    } else if (A == "--batch") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.BatchFiles.push_back(V);
+      Cli.EngineRequested = true;
+    } else if (A == "--no-cache") {
+      Cli.UseCache = false;
     } else if (!A.empty() && A[0] == '-') {
       std::cerr << "gisc: unknown option " << A << "\n";
       return false;
-    } else if (Cli.InputPath.empty()) {
-      Cli.InputPath = A;
     } else {
-      return false;
+      Cli.InputPaths.push_back(A);
     }
   }
-  return !Cli.InputPath.empty();
+  return !Cli.InputPaths.empty() || !Cli.BatchFiles.empty();
+}
+
+/// Appends the paths listed in manifest \p Path (one per line; blank lines
+/// and '#' comments skipped) to \p Out.
+bool readBatchManifest(const std::string &Path,
+                       std::vector<std::string> &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "gisc: cannot open batch manifest " << Path << "\n";
+    return false;
+  }
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Begin = Line.find_first_not_of(" \t\r");
+    if (Begin == std::string::npos || Line[Begin] == '#')
+      continue;
+    size_t End = Line.find_last_not_of(" \t\r");
+    Out.push_back(Line.substr(Begin, End - Begin + 1));
+  }
+  return true;
+}
+
+/// Loads one input file as mini-C or GIS assembly.
+std::unique_ptr<Module> loadInput(const std::string &Path, bool IsAsm) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "gisc: cannot open " << Path << "\n";
+    return nullptr;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Source = SS.str();
+
+  if (IsAsm) {
+    ParseResult R = parseModule(Source);
+    if (!R.ok()) {
+      std::cerr << Path << ":" << R.Line << ": error: " << R.Error << "\n";
+      return nullptr;
+    }
+    std::vector<std::string> Problems = verifyModule(*R.M);
+    for (const std::string &P : Problems)
+      std::cerr << Path << ": verify: " << P << "\n";
+    if (!Problems.empty())
+      return nullptr;
+    return std::move(R.M);
+  }
+  CompileResult R = compileMiniC(Source);
+  if (!R.ok()) {
+    std::cerr << Path << ":" << R.Line << ": error: " << R.Error << "\n";
+    return nullptr;
+  }
+  return std::move(R.M);
 }
 
 /// Dumps the per-region DOT graphs of every function.
@@ -222,6 +305,64 @@ void dumpRegions(const Module &M, const MachineDescription &MD, bool CSPDG,
 
 } // namespace
 
+/// The engine path: several inputs and/or a worker pool, deterministic
+/// input-order output.  Supports the inspection options; execution and
+/// reporting options need the single-file path.
+int runEngineMode(const CliOptions &Cli,
+                  const std::vector<std::string> &Paths) {
+  if (Cli.Run || Cli.Profile || Cli.Report) {
+    std::cerr << "gisc: --run/--profile/--report need a single input "
+                 "without --jobs/--batch\n";
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<Module>> Modules;
+  for (const std::string &Path : Paths) {
+    std::unique_ptr<Module> M = loadInput(Path, Cli.InputIsAsm);
+    if (!M)
+      return 1;
+    if (Cli.DumpIRBefore) {
+      std::cout << "// file: " << Path << " (before scheduling)\n";
+      printModule(*M, std::cout);
+    }
+    Modules.push_back(std::move(M));
+  }
+
+  EngineOptions EOpts;
+  EOpts.Jobs = Cli.Jobs;
+  EOpts.UseCache = Cli.UseCache;
+  CompileEngine Engine(Cli.Machine, Cli.Pipeline, EOpts);
+
+  std::vector<BatchItem> Batch;
+  for (size_t K = 0; K != Modules.size(); ++K)
+    Batch.push_back(BatchItem{Modules[K].get(), Paths[K]});
+  EngineReport Report = Engine.compileBatch(Batch);
+
+  for (size_t K = 0; K != Modules.size(); ++K) {
+    const Module &M = *Modules[K];
+    if (Cli.DumpIR) {
+      std::cout << "// file: " << Paths[K] << "\n";
+      printModule(M, std::cout);
+    }
+    if (Cli.DumpCFG)
+      for (const auto &F : M.functions())
+        std::cout << cfgToDot(*F);
+    if (Cli.DumpCSPDG || Cli.DumpDDG)
+      dumpRegions(M, Cli.Machine, Cli.DumpCSPDG, Cli.DumpDDG);
+  }
+
+  if (Cli.Stats) {
+    std::cout << Report.summary();
+    for (const FunctionCompileResult &R : Report.PerFunction)
+      std::cout << "  " << R.Item << ":" << R.Function
+                << (R.CacheHit ? "  [cache hit]" : "") << "  "
+                << static_cast<long>(R.CompileSeconds * 1e6) << "us\n";
+    for (const Diagnostic &D : Report.Aggregate.Diags)
+      std::cout << "  diagnostic: " << D.str() << "\n";
+  }
+  return 0;
+}
+
 int main(int argc, char **argv) {
   CliOptions Cli;
   if (!parseArgs(argc, argv, Cli)) {
@@ -229,38 +370,21 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  std::ifstream In(Cli.InputPath);
-  if (!In) {
-    std::cerr << "gisc: cannot open " << Cli.InputPath << "\n";
-    return 1;
+  std::vector<std::string> Paths = Cli.InputPaths;
+  for (const std::string &Manifest : Cli.BatchFiles)
+    if (!readBatchManifest(Manifest, Paths))
+      return 1;
+  if (Paths.empty()) {
+    std::cerr << "gisc: no input files\n";
+    return 2;
   }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  std::string Source = SS.str();
 
-  std::unique_ptr<Module> M;
-  if (Cli.InputIsAsm) {
-    ParseResult R = parseModule(Source);
-    if (!R.ok()) {
-      std::cerr << Cli.InputPath << ":" << R.Line << ": error: " << R.Error
-                << "\n";
-      return 1;
-    }
-    M = std::move(R.M);
-    std::vector<std::string> Problems = verifyModule(*M);
-    for (const std::string &P : Problems)
-      std::cerr << Cli.InputPath << ": verify: " << P << "\n";
-    if (!Problems.empty())
-      return 1;
-  } else {
-    CompileResult R = compileMiniC(Source);
-    if (!R.ok()) {
-      std::cerr << Cli.InputPath << ":" << R.Line << ": error: " << R.Error
-                << "\n";
-      return 1;
-    }
-    M = std::move(R.M);
-  }
+  if (Cli.EngineRequested || Paths.size() > 1)
+    return runEngineMode(Cli, Paths);
+
+  std::unique_ptr<Module> M = loadInput(Paths.front(), Cli.InputIsAsm);
+  if (!M)
+    return 1;
 
   if (Cli.DumpIRBefore)
     printModule(*M, std::cout);

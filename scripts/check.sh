@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 #
 # Tier-1 verification: build and run the full test suite twice, once plain
-# and once under ASan+UBSan (-DGIS_SANITIZE=address,undefined).  Run from
-# anywhere; builds land in build/ and build-san/ next to the sources.
+# and once under ASan+UBSan (-DGIS_SANITIZE=address,undefined), then run
+# the multi-threaded batch-compilation engine tests under TSan
+# (-DGIS_SANITIZE=thread; TSan and ASan cannot share a build).  Run from
+# anywhere; builds land in build/, build-san/ and build-tsan/ next to the
+# sources.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-run_suite() {
+build_tree() {
   local dir="$1"
   shift
   cmake -S "$ROOT" -B "$dir" "$@" >/dev/null
   cmake --build "$dir" -j "$JOBS"
+}
+
+run_suite() {
+  local dir="$1"
+  shift
+  build_tree "$dir" "$@"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
@@ -22,4 +31,9 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "OK: both suites passed"
+echo "== sanitized build (thread): engine smoke test =="
+build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
+  -R '^(ThreadPoolTest|ScheduleCacheTest|CompileEngineTest|HashingTest)'
+
+echo "OK: all suites passed"

@@ -1,0 +1,165 @@
+//===- engine/CompileEngine.cpp - Parallel batch compilation ---------------===//
+
+#include "engine/CompileEngine.h"
+
+#include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
+using namespace gis;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// One schedulable work unit.  Granularity is one function, or one whole
+/// module when the differential oracle is on (the oracle reads sibling
+/// functions of the module under test; see the header comment).
+struct WorkUnit {
+  Module *M = nullptr;
+  /// Functions of M this unit schedules (all in slot order).
+  std::vector<Function *> Funcs;
+  /// Result slots, parallel to Funcs (indices into EngineReport::PerFunction).
+  std::vector<size_t> Slots;
+  Clock::time_point Enqueued;
+};
+
+} // namespace
+
+std::string EngineReport::summary() const {
+  std::string S = formatString(
+      "engine: %u function(s), %u thread(s), %.3fs wall (%.1f funcs/sec)\n",
+      FunctionsCompiled, Threads, WallSeconds, functionsPerSecond());
+  S += formatString(
+      "  cache: %llu hit(s), %llu miss(es) (%.1f%% hit rate)\n",
+      static_cast<unsigned long long>(CacheHits),
+      static_cast<unsigned long long>(CacheMisses), 100.0 * cacheHitRate());
+  S += formatString(
+      "  queue wait: %.3fs total; schedule time: %.3fs total\n",
+      TotalQueueWaitSeconds, TotalCompileSeconds);
+  S += formatString("  rollbacks: %u (region %u / transform %u)\n",
+                    rollbacks(), Aggregate.RegionsRolledBack,
+                    Aggregate.TransformsRolledBack);
+  return S;
+}
+
+CompileEngine::CompileEngine(const MachineDescription &MD,
+                             const PipelineOptions &Opts,
+                             const EngineOptions &EOpts)
+    : MD(MD), Opts(Opts), EOpts(EOpts) {
+  if (this->EOpts.Jobs == 0)
+    this->EOpts.Jobs = ThreadPool::hardwareThreads();
+  if (EOpts.SharedCache) {
+    Cache = EOpts.SharedCache;
+  } else {
+    OwnedCache = std::make_unique<ScheduleCache>(this->EOpts.CacheCapacity);
+    Cache = OwnedCache.get();
+  }
+  MachineFp = fingerprintMachine(MD);
+  OptionsFp = fingerprintOptions(Opts);
+}
+
+CompileEngine::~CompileEngine() = default;
+
+EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
+  Clock::time_point WallStart = Clock::now();
+
+  EngineReport Report;
+  Report.Threads = EOpts.Jobs;
+
+  // The cache serves content-addressed results; inputs whose schedule
+  // depends on state outside the hashed content (profile data, the
+  // oracle's view of sibling functions) bypass it.
+  const bool CacheOn =
+      EOpts.UseCache && !Opts.Profile && !Opts.EnableOracle;
+  const bool ModuleGranularity = Opts.EnableOracle;
+
+  // Flatten the batch into work units and pre-size the result slots, so
+  // workers write disjoint elements and the report ends up in input order
+  // no matter which order units finish in.
+  std::vector<WorkUnit> Units;
+  for (const BatchItem &Item : Batch) {
+    if (!Item.M)
+      continue;
+    WorkUnit *Current = nullptr;
+    for (const auto &F : Item.M->functions()) {
+      if (!Current || !ModuleGranularity) {
+        Units.emplace_back();
+        Current = &Units.back();
+        Current->M = Item.M;
+      }
+      size_t Slot = Report.PerFunction.size();
+      FunctionCompileResult R;
+      R.Item = Item.Name;
+      R.Function = F->name();
+      Report.PerFunction.push_back(std::move(R));
+      Current->Funcs.push_back(F.get());
+      Current->Slots.push_back(Slot);
+    }
+  }
+
+  const PipelineOptions &UnitOpts = Opts;
+
+  auto Process = [&](const WorkUnit &Unit) {
+    double QueueWait = secondsSince(Unit.Enqueued);
+    for (size_t K = 0; K != Unit.Funcs.size(); ++K) {
+      Function &F = *Unit.Funcs[K];
+      FunctionCompileResult &R = Report.PerFunction[Unit.Slots[K]];
+      R.QueueWaitSeconds = K == 0 ? QueueWait : 0.0;
+      Clock::time_point Start = Clock::now();
+      if (CacheOn) {
+        Key128 Key = scheduleCacheKey(F, MachineFp, OptionsFp);
+        if (Cache->lookup(Key, F, R.Stats)) {
+          R.CacheHit = true;
+          R.CompileSeconds = secondsSince(Start);
+          continue;
+        }
+        R.Stats = schedulePipeline(F, MD, UnitOpts);
+        Cache->insert(Key, F, R.Stats);
+      } else {
+        PipelineOptions FnOpts = UnitOpts;
+        if (FnOpts.EnableOracle && !FnOpts.OracleModule)
+          FnOpts.OracleModule = Unit.M;
+        R.Stats = schedulePipeline(F, MD, FnOpts);
+      }
+      R.CompileSeconds = secondsSince(Start);
+    }
+  };
+
+  if (EOpts.Jobs <= 1 || Units.size() <= 1) {
+    for (WorkUnit &Unit : Units) {
+      Unit.Enqueued = Clock::now();
+      Process(Unit);
+    }
+  } else {
+    ThreadPool Pool(EOpts.Jobs);
+    for (WorkUnit &Unit : Units) {
+      Unit.Enqueued = Clock::now();
+      Pool.submit([&Process, &Unit] { Process(Unit); });
+    }
+    Pool.waitIdle();
+  }
+
+  // Merge in input order: identical aggregates for any worker count.
+  for (const FunctionCompileResult &R : Report.PerFunction) {
+    ++Report.FunctionsCompiled;
+    if (R.CacheHit)
+      ++Report.CacheHits;
+    else
+      ++Report.CacheMisses;
+    Report.TotalQueueWaitSeconds += R.QueueWaitSeconds;
+    Report.TotalCompileSeconds += R.CompileSeconds;
+    Report.Aggregate += R.Stats;
+  }
+  Report.WallSeconds = secondsSince(WallStart);
+  return Report;
+}
+
+EngineReport CompileEngine::compile(Module &M) {
+  return compileBatch({BatchItem{&M, "<module>"}});
+}

@@ -1,0 +1,131 @@
+//===- engine/CompileEngine.h - Parallel batch compilation ------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch-compilation engine: drives the transactional schedulePipeline
+/// over a batch of modules on a work-stealing thread pool, with a
+/// content-addressed schedule cache in front of the scheduler.  The
+/// paper's Section 6 flow is function-independent, so the engine's unit of
+/// parallelism is one function; everything a pipeline run touches is
+/// per-function state (see the reentrancy contract in sched/Pipeline.h).
+///
+/// Determinism: a batch compiled with N workers is bit-identical to the
+/// same batch compiled with one worker, cache on or off.  Each function's
+/// schedule depends only on its own content, and the report aggregates
+/// per-function results in input order, never in completion order.
+///
+/// Exception to function-level parallelism: with the differential oracle
+/// enabled, a pipeline run *reads* every function of the module it
+/// verifies (calls, globals), so the engine widens the work unit to one
+/// module to keep readers and writers apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ENGINE_COMPILEENGINE_H
+#define GIS_ENGINE_COMPILEENGINE_H
+
+#include "engine/ScheduleCache.h"
+#include "ir/Module.h"
+#include "machine/MachineDescription.h"
+#include "sched/Pipeline.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gis {
+
+/// Engine configuration, on top of the per-function PipelineOptions.
+struct EngineOptions {
+  /// Worker threads; 0 means ThreadPool::hardwareThreads().  With Jobs==1
+  /// the engine runs inline on the calling thread (no pool).
+  unsigned Jobs = 1;
+  bool UseCache = true;
+  /// Entry bound of the internally-owned cache (ignored for SharedCache).
+  size_t CacheCapacity = 4096;
+  /// Optional externally-owned cache, for reuse across batches/engines;
+  /// the engine creates its own when null.
+  ScheduleCache *SharedCache = nullptr;
+};
+
+/// One batch entry: a borrowed module plus a display name for reports.
+struct BatchItem {
+  Module *M = nullptr;
+  std::string Name;
+};
+
+/// Per-function outcome of one batch compile.
+struct FunctionCompileResult {
+  std::string Item;     ///< BatchItem::Name
+  std::string Function;
+  bool CacheHit = false;
+  double QueueWaitSeconds = 0;   ///< submit -> start of work
+  double CompileSeconds = 0;     ///< schedule (or cache-serve) time
+  PipelineStats Stats;
+};
+
+/// Aggregate outcome of one batch compile, per-function results in input
+/// order.
+struct EngineReport {
+  unsigned Threads = 1;
+  unsigned FunctionsCompiled = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  double WallSeconds = 0;
+  double TotalQueueWaitSeconds = 0;
+  double TotalCompileSeconds = 0;
+  PipelineStats Aggregate;
+  std::vector<FunctionCompileResult> PerFunction;
+
+  double cacheHitRate() const {
+    uint64_t Total = CacheHits + CacheMisses;
+    return Total ? static_cast<double>(CacheHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+  double functionsPerSecond() const {
+    return WallSeconds > 0 ? FunctionsCompiled / WallSeconds : 0.0;
+  }
+  unsigned rollbacks() const {
+    return Aggregate.RegionsRolledBack + Aggregate.TransformsRolledBack;
+  }
+
+  /// Renders a short human-readable summary (for gisc --stats).
+  std::string summary() const;
+};
+
+class CompileEngine {
+public:
+  CompileEngine(const MachineDescription &MD, const PipelineOptions &Opts,
+                const EngineOptions &EOpts = {});
+  ~CompileEngine();
+
+  /// Schedules every function of every batch item.  Modules are mutated in
+  /// place; the report owns all statistics.
+  EngineReport compileBatch(const std::vector<BatchItem> &Batch);
+
+  /// Convenience: one anonymous module as a single-item batch.
+  EngineReport compile(Module &M);
+
+  /// The cache serving this engine (shared or internally owned).
+  ScheduleCache &cache() { return *Cache; }
+
+  unsigned jobs() const { return EOpts.Jobs; }
+
+private:
+  MachineDescription MD;
+  PipelineOptions Opts;
+  EngineOptions EOpts;
+  std::unique_ptr<ScheduleCache> OwnedCache;
+  ScheduleCache *Cache = nullptr;
+  uint64_t MachineFp = 0;
+  uint64_t OptionsFp = 0;
+};
+
+} // namespace gis
+
+#endif // GIS_ENGINE_COMPILEENGINE_H

@@ -1,0 +1,125 @@
+//===- engine/ScheduleCache.h - Content-addressed schedule cache -*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed cache of pipeline results.  The key is a stable
+/// 128-bit hash of (function IR, machine description, pipeline options);
+/// the value is a deep copy of the scheduled function plus the
+/// PipelineStats of the run that produced it.  Two inputs with identical
+/// content -- whichever module or batch they came from -- share one entry,
+/// so repeated compiles are served by a copy instead of a reschedule, and
+/// a cache hit is bit-identical to a fresh run by construction.
+///
+/// Thread safety: all public members are safe to call concurrently.  The
+/// map is sharded by key; each shard holds its own mutex and an LRU list
+/// bounding the shard's entry count (scheduled-function copies are not
+/// small, so the cache is capacity-bounded, not append-only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_ENGINE_SCHEDULECACHE_H
+#define GIS_ENGINE_SCHEDULECACHE_H
+
+#include "ir/Function.h"
+#include "sched/Pipeline.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace gis {
+
+class MachineDescription;
+
+/// Running counters of one cache instance (monotonic; read with stats()).
+struct ScheduleCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Stable fingerprint of a machine description: name, unit types and
+/// counts, per-opcode unit map and exec times, delay rules.
+uint64_t fingerprintMachine(const MachineDescription &MD);
+
+/// Stable fingerprint of the scheduling-relevant pipeline options.  The
+/// borrowed Profile and OracleModule pointers are hashed by presence only;
+/// callers that vary their *contents* between runs must bypass the cache
+/// (CompileEngine does).
+uint64_t fingerprintOptions(const PipelineOptions &Opts);
+
+/// The cache key of scheduling \p F under (\p MachineFp, \p OptionsFp):
+/// a 128-bit hash of the function's printed IR plus both fingerprints.
+/// Printing is the canonical serialization -- it captures exactly the
+/// state the pipeline transforms (layout, instructions, operands).
+Key128 scheduleCacheKey(const Function &F, uint64_t MachineFp,
+                        uint64_t OptionsFp);
+
+class ScheduleCache {
+public:
+  /// \p Capacity bounds the total entry count (0 disables the bound);
+  /// entries are evicted least-recently-used per shard.
+  explicit ScheduleCache(size_t Capacity = 4096, unsigned NumShards = 16);
+
+  /// If \p Key is present, copy-assigns the cached scheduled function into
+  /// \p F, merges the cached stats into \p Stats and returns true.
+  bool lookup(const Key128 &Key, Function &F, PipelineStats &Stats);
+
+  /// Inserts the result of scheduling under \p Key (deep-copies \p F).
+  /// Re-inserting an existing key refreshes recency and keeps the first
+  /// value (results for one key are identical by construction).
+  void insert(const Key128 &Key, const Function &F,
+              const PipelineStats &Stats);
+
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  ScheduleCacheStats stats() const;
+  void clear();
+
+private:
+  struct Entry {
+    Key128 Key;
+    Function Scheduled;
+    PipelineStats Stats;
+
+    Entry(const Key128 &K, const Function &F, const PipelineStats &S)
+        : Key(K), Scheduled(F), Stats(S) {}
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    /// LRU order, most recent first; map values point into the list.
+    std::list<Entry> Lru;
+    std::unordered_map<Key128, std::list<Entry>::iterator, Key128Hash> Map;
+  };
+
+  Shard &shardFor(const Key128 &Key) {
+    return *Shards[Key.Hi % Shards.size()];
+  }
+
+  size_t Capacity;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Insertions{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+} // namespace gis
+
+#endif // GIS_ENGINE_SCHEDULECACHE_H

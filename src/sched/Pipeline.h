@@ -19,6 +19,17 @@
 /// of regions are scheduled, and only "small" reducible regions (at most
 /// 64 basic blocks and 256 instructions).
 ///
+/// Reentrancy contract: schedulePipeline keeps all of its state -- loop
+/// info, regions, dependence graphs, checkpoints, statistics -- local to
+/// the call, so concurrent runs over *distinct* Function objects are safe
+/// (the engine's unit of parallelism; see engine/CompileEngine.h).  Two
+/// concurrent runs over the same Function are not.  Exceptions: the
+/// fault injector is shared, internally synchronized state
+/// (support/FaultInjection.h), and an enabled differential oracle reads
+/// the whole OracleModule, so no sibling function of that module may be
+/// scheduled concurrently (the engine widens its work unit to the module
+/// in that configuration).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SCHED_PIPELINE_H

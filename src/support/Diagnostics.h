@@ -12,6 +12,12 @@
 /// PipelineStats so a batch compile can report every skipped region without
 /// ever aborting.
 ///
+/// Reentrancy contract: there is no global diagnostic sink.  Every sink is
+/// a caller-owned vector (one per pipeline run), so concurrent compiles
+/// (engine/CompileEngine.h) never share one; the engine merges the
+/// per-run vectors in input order after all workers finish.  A sink must
+/// not be passed to two concurrent pipeline runs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SUPPORT_DIAGNOSTICS_H

@@ -20,6 +20,7 @@ FaultInjector::FaultInjector() {
 }
 
 void FaultInjector::arm(const std::string &Spec) {
+  std::lock_guard<std::mutex> L(Mu);
   Stage.clear();
   Trigger = 1;
   Seen = 0;
@@ -35,6 +36,7 @@ void FaultInjector::arm(const std::string &Spec) {
 }
 
 bool FaultInjector::shouldFire(const char *StageName) {
+  std::lock_guard<std::mutex> L(Mu);
   if (Stage.empty() || Fired > 0 || Stage != StageName)
     return false;
   if (++Seen != Trigger)

@@ -23,13 +23,22 @@
 #ifndef GIS_SUPPORT_FAULTINJECTION_H
 #define GIS_SUPPORT_FAULTINJECTION_H
 
+#include <mutex>
 #include <string>
 
 namespace gis {
 
 class Function;
 
-/// Process-wide fault-injection state (the project is single-threaded).
+/// Process-wide fault-injection state.
+///
+/// Reentrancy contract: the injector is shared global state, the one
+/// deliberate exception to the pipeline's "no shared mutable state" rule
+/// (see sched/Pipeline.h).  shouldFire/arm/disarm are internally
+/// synchronized, so concurrent pipeline runs (CompileEngine workers) are
+/// data-race free and the fault still fires exactly once per arming --
+/// but *which* concurrent run observes it is scheduling-dependent.  Tests
+/// that assert on the faulted function must arm and fire on one thread.
 class FaultInjector {
 public:
   /// The singleton; on first use it arms itself from GIS_FAULT_INJECT if
@@ -41,21 +50,35 @@ public:
   void arm(const std::string &Spec);
   void disarm() { arm(""); }
 
-  bool armed() const { return !Stage.empty(); }
-  const std::string &stage() const { return Stage; }
-  unsigned trigger() const { return Trigger; }
+  bool armed() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return !Stage.empty();
+  }
+  std::string stage() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Stage;
+  }
+  unsigned trigger() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Trigger;
+  }
 
   /// Call once per occurrence of \p StageName; returns true exactly when
   /// the armed stage's Nth occurrence is reached (one-shot: subsequent
-  /// occurrences return false until re-armed).
+  /// occurrences return false until re-armed).  Occurrences observed from
+  /// concurrent threads count in arrival order.
   bool shouldFire(const char *StageName);
 
   /// Number of times this arming has fired (0 or 1).
-  unsigned firedCount() const { return Fired; }
+  unsigned firedCount() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Fired;
+  }
 
 private:
   FaultInjector();
 
+  mutable std::mutex Mu;
   std::string Stage;
   unsigned Trigger = 1;
   unsigned Seen = 0;

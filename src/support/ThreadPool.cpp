@@ -1,0 +1,122 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Assert.h"
+
+using namespace gis;
+
+namespace {
+
+/// Identity of the worker running on this thread, if any: task-internal
+/// submissions go straight to the calling worker's own deque.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+
+} // namespace
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = hardwareThreads();
+  Queues.reserve(NumThreads);
+  for (unsigned K = 0; K != NumThreads; ++K)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned K = 0; K != NumThreads; ++K)
+    Workers.emplace_back([this, K] { workerLoop(K); });
+}
+
+ThreadPool::~ThreadPool() {
+  waitIdle();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  GIS_ASSERT(Task, "null task submitted");
+  unsigned Target;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    GIS_ASSERT(!ShuttingDown, "submit after shutdown");
+    ++Pending;
+    ++Queued;
+    // A worker submitting from inside a task keeps the work local;
+    // external submissions spread round-robin.
+    Target = CurrentPool == this
+                 ? CurrentWorker
+                 : (NextQueue++ % static_cast<unsigned>(Queues.size()));
+  }
+  {
+    std::lock_guard<std::mutex> QL(Queues[Target]->Mu);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::popTask(unsigned Self, std::function<void()> &Task) {
+  // Own deque: back (most recently pushed; cache-warm LIFO).
+  {
+    WorkerQueue &Q = *Queues[Self];
+    std::lock_guard<std::mutex> L(Q.Mu);
+    if (!Q.Tasks.empty()) {
+      Task = std::move(Q.Tasks.back());
+      Q.Tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: front of a victim's deque (oldest first).
+  for (unsigned Off = 1; Off != Queues.size(); ++Off) {
+    WorkerQueue &Q =
+        *Queues[(Self + Off) % static_cast<unsigned>(Queues.size())];
+    std::lock_guard<std::mutex> L(Q.Mu);
+    if (!Q.Tasks.empty()) {
+      Task = std::move(Q.Tasks.front());
+      Q.Tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentPool = this;
+  CurrentWorker = Index;
+  std::function<void()> Task;
+  while (true) {
+    if (popTask(Index, Task)) {
+      {
+        std::lock_guard<std::mutex> L(Mu);
+        --Queued;
+      }
+      Task();
+      Task = nullptr;
+      std::lock_guard<std::mutex> L(Mu);
+      if (--Pending == 0)
+        Idle.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> L(Mu);
+    if (ShuttingDown)
+      return;
+    if (Queued > 0)
+      continue; // a task was pushed between our scan and this lock; rescan
+    WorkAvailable.wait(L, [&] { return ShuttingDown || Queued > 0; });
+    if (ShuttingDown)
+      return;
+  }
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> L(Mu);
+  Idle.wait(L, [&] { return Pending == 0; });
+}

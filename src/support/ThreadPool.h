@@ -1,0 +1,86 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool for the batch-compilation engine.  Each
+/// worker owns a deque: it pushes and pops work at the back (LIFO, cache
+/// warm) and victims are stolen from at the front (FIFO, oldest first), the
+/// classic work-stealing discipline.  External submissions are distributed
+/// round-robin across the worker deques.
+///
+/// Reentrancy contract: submit() may be called from any thread, including
+/// from inside a running task (a task's own submissions land on the calling
+/// worker's deque).  waitIdle() blocks until every submitted task -- and
+/// every task those tasks submitted -- has finished; it must not be called
+/// from inside a task.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_SUPPORT_THREADPOOL_H
+#define GIS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gis {
+
+class ThreadPool {
+public:
+  /// Starts \p NumThreads workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one task.  Tasks must not throw (the pool does not transport
+  /// exceptions; carry failures through captured state instead).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until all submitted tasks have completed.
+  void waitIdle();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads();
+
+private:
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Index);
+  bool popTask(unsigned Self, std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  // Sleep/wake and lifecycle.  Pending counts submitted-but-unfinished
+  // tasks (waitIdle's condition); Queued counts tasks sitting in deques
+  // (the workers' sleep condition -- excluding running tasks, so an idle
+  // worker sleeps instead of spinning while a long task runs elsewhere).
+  std::mutex Mu;
+  std::condition_variable WorkAvailable;
+  std::condition_variable Idle;
+  unsigned Pending = 0;
+  unsigned Queued = 0;
+  unsigned NextQueue = 0; ///< round-robin cursor for external submissions
+  bool ShuttingDown = false;
+};
+
+} // namespace gis
+
+#endif // GIS_SUPPORT_THREADPOOL_H
