@@ -55,23 +55,25 @@ CompiledBatch frontEnd(const std::vector<std::string> &Sources) {
 }
 
 EngineReport runOnce(const std::vector<std::string> &Sources, unsigned Jobs,
-                     ScheduleCache *Shared) {
+                     ScheduleCache *Shared, unsigned RegionJobs = 1) {
   CompiledBatch B = frontEnd(Sources);
   EngineOptions EOpts;
   EOpts.Jobs = Jobs;
   EOpts.SharedCache = Shared;
-  CompileEngine Engine(MachineDescription::rs6k(), speculativeOptions(),
-                       EOpts);
+  PipelineOptions Opts = speculativeOptions();
+  Opts.RegionJobs = RegionJobs;
+  CompileEngine Engine(MachineDescription::rs6k(), Opts, EOpts);
   return Engine.compileBatch(B.Items);
 }
 
 /// Median-of-3 engine runs (fresh modules each time, shared cache state
 /// carried through only when \p Shared is given).
 EngineReport measure(const std::vector<std::string> &Sources, unsigned Jobs,
-                     ScheduleCache *Shared = nullptr) {
-  EngineReport Best = runOnce(Sources, Jobs, Shared);
+                     ScheduleCache *Shared = nullptr,
+                     unsigned RegionJobs = 1) {
+  EngineReport Best = runOnce(Sources, Jobs, Shared, RegionJobs);
   for (unsigned K = 0; K != 2 && !Shared; ++K) {
-    EngineReport R = runOnce(Sources, Jobs, nullptr);
+    EngineReport R = runOnce(Sources, Jobs, nullptr, RegionJobs);
     if (R.WallSeconds < Best.WallSeconds)
       Best = R; // min-of-3: least-noise estimate
   }
@@ -90,8 +92,16 @@ struct CachePoint {
   double FuncsPerSec;
 };
 
+struct RegionJobsPoint {
+  unsigned RegionJobs;
+  double FuncsPerSec;
+  double Speedup;
+};
+
 void writeJson(const std::vector<ThreadPoint> &Threads,
-               const std::vector<CachePoint> &Cache, unsigned Functions) {
+               const std::vector<CachePoint> &Cache,
+               const std::vector<RegionJobsPoint> &RegionJobs,
+               unsigned Functions) {
   std::FILE *F = std::fopen("BENCH_engine.json", "w");
   if (!F) {
     std::fprintf(stderr, "bench_engine_throughput: cannot write "
@@ -117,6 +127,14 @@ void writeJson(const std::vector<ThreadPoint> &Threads,
                  "\"funcs_per_sec\": %.1f}%s\n",
                  Cache[K].Scenario.c_str(), Cache[K].HitRate,
                  Cache[K].FuncsPerSec, K + 1 == Cache.size() ? "" : ",");
+  std::fprintf(F, "  ],\n  \"region_jobs\": [\n");
+  for (size_t K = 0; K != RegionJobs.size(); ++K)
+    std::fprintf(F,
+                 "    {\"region_jobs\": %u, \"funcs_per_sec\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 RegionJobs[K].RegionJobs, RegionJobs[K].FuncsPerSec,
+                 RegionJobs[K].Speedup,
+                 K + 1 == RegionJobs.size() ? "" : ",");
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
 }
@@ -180,7 +198,31 @@ void printEngineTables() {
               "repeat is served\nby the content-addressed cache "
               "(engine/ScheduleCache.h).\n");
 
-  writeJson(ThreadPoints, CachePoints, Functions);
+  std::printf("\nE9: region-jobs sweep (1 engine thread, %u modules, "
+              "cold cache)\n",
+              BatchModules);
+  rule(72);
+  std::printf("%14s%16s%12s\n", "REGION JOBS", "FUNCS/SEC", "SPEEDUP");
+  rule(72);
+
+  std::vector<RegionJobsPoint> RegionJobsPoints;
+  double RJBase = 0;
+  for (unsigned RJ : {1u, 2u, 4u, 8u}) {
+    EngineReport R = measure(Unique, /*Jobs=*/1, nullptr, RJ);
+    double FPS = R.functionsPerSecond();
+    if (RJ == 1)
+      RJBase = FPS;
+    double Speedup = RJBase > 0 ? FPS / RJBase : 0.0;
+    RegionJobsPoints.push_back({RJ, FPS, Speedup});
+    std::printf("%14u%16.1f%11.2fx\n", RJ, FPS, Speedup);
+  }
+  rule(72);
+  std::printf("intra-function parallelism: independent regions of one "
+              "function scheduled\nconcurrently (sched/Pipeline.h "
+              "RegionJobs); output is bit-identical at every\nwidth, so "
+              "speedup is bounded by the per-function region count.\n");
+
+  writeJson(ThreadPoints, CachePoints, RegionJobsPoints, Functions);
 }
 
 void BM_EngineBatch(benchmark::State &State) {

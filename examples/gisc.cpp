@@ -11,6 +11,10 @@
 //     --jobs N                   schedule functions on N worker threads
 //                                (0: all hardware threads); implies the
 //                                engine path
+//     --region-jobs N            schedule independent regions of each
+//                                function on N threads (0: all hardware
+//                                threads); output is bit-identical for
+//                                every N; works on both paths
 //     --batch FILE               read additional input paths from FILE
 //                                (one per line, '#' comments)
 //     --no-cache                 disable the content-addressed schedule
@@ -205,6 +209,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
         return false;
       Cli.Jobs = static_cast<unsigned>(std::atoi(V));
       Cli.EngineRequested = true;
+    } else if (A == "--region-jobs") {
+      // Intra-function parallelism; does not imply the engine path.
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Pipeline.RegionJobs = static_cast<unsigned>(std::atoi(V));
     } else if (A == "--batch") {
       const char *V = Next();
       if (!V)
@@ -448,7 +458,14 @@ int main(int argc, char **argv) {
               << "\n  transactions run:     " << Stats.TransactionsRun
               << "\n  rollbacks (region/transform): "
               << Stats.RegionsRolledBack << "/" << Stats.TransformsRolledBack
-              << "\n  faults injected:      " << Stats.FaultsInjected << "\n";
+              << "\n  faults injected:      " << Stats.FaultsInjected
+              << "\n  region waves:         " << Stats.RegionWaves
+              << "  (--region-jobs " << Cli.Pipeline.RegionJobs << ")\n";
+    for (const RegionTime &RT : Stats.RegionTimes)
+      std::cout << "    wave " << RT.Wave << " region "
+                << (RT.LoopIdx < 0 ? std::string("top")
+                                   : std::to_string(RT.LoopIdx))
+                << ": " << static_cast<long>(RT.Seconds * 1e6) << "us\n";
     for (const Diagnostic &D : Stats.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
     for (const auto &F : M->functions()) {

@@ -2,7 +2,8 @@
 #
 # Tier-1 verification: build and run the full test suite twice, once plain
 # and once under ASan+UBSan (-DGIS_SANITIZE=address,undefined), then run
-# the multi-threaded batch-compilation engine tests under TSan
+# the multi-threaded suites -- the batch-compilation engine and the
+# region-parallel scheduler (ctest label "parallel") -- under TSan
 # (-DGIS_SANITIZE=thread; TSan and ASan cannot share a build).  Run from
 # anywhere; builds land in build/, build-san/ and build-tsan/ next to the
 # sources.
@@ -31,9 +32,11 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): engine smoke test =="
+echo "== sanitized build (thread): parallel suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '^(ThreadPoolTest|ScheduleCacheTest|CompileEngineTest|HashingTest)'
+# The "parallel" label covers gis_parallel_tests: the batch engine, the
+# thread pool / cache / hashing units, and the region-parallel scheduling
+# determinism tests (tests/region_parallel_test.cpp).
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L parallel
 
 echo "OK: all suites passed"

@@ -74,3 +74,9 @@ std::vector<Reg> Liveness::liveOutRegs(BlockId B) const {
   LiveOut[B].forEach([&](unsigned I) { Out.push_back(regForIndex(I)); });
   return Out;
 }
+
+std::vector<Reg> Liveness::liveInRegs(BlockId B) const {
+  std::vector<Reg> In;
+  LiveIn[B].forEach([&](unsigned I) { In.push_back(regForIndex(I)); });
+  return In;
+}

@@ -48,6 +48,10 @@ public:
   /// Registers live on exit from \p B, materialized as Reg values.
   std::vector<Reg> liveOutRegs(BlockId B) const;
 
+  /// Registers live on entry to \p B, materialized as Reg values (used by
+  /// LivenessSlice to freeze a region's out-of-region boundary).
+  std::vector<Reg> liveInRegs(BlockId B) const;
+
 private:
   unsigned denseIndex(Reg R) const {
     GIS_ASSERT(R.isValid(), "liveness query on invalid register");

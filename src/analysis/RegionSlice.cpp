@@ -1,0 +1,124 @@
+//===- analysis/RegionSlice.cpp - Region-local analysis slice -------------===//
+
+#include "analysis/RegionSlice.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+LivenessSlice LivenessSlice::build(const Function &F, const SchedRegion &R,
+                                   const Liveness &WholeLV) {
+  LivenessSlice LS;
+  for (const RegionNode &N : R.nodes())
+    if (N.isBlock())
+      LS.Blocks.push_back(N.Block);
+
+  LS.SlotOf.assign(F.numBlocks(), -1);
+  for (unsigned S = 0; S != LS.Blocks.size(); ++S)
+    LS.SlotOf[LS.Blocks[S]] = static_cast<int>(S);
+
+  LS.InSuccs.resize(LS.Blocks.size());
+  LS.Boundary.resize(LS.Blocks.size());
+  for (unsigned S = 0; S != LS.Blocks.size(); ++S) {
+    for (BlockId Succ : F.block(LS.Blocks[S]).succs()) {
+      if (LS.ownsBlock(Succ)) {
+        // In-region successor -- includes the back edge to the region
+        // entry, so liveness that re-enters the loop is solved, not frozen.
+        LS.InSuccs[S].push_back(LS.slotOf(Succ));
+      } else {
+        // Out-of-region successor (loop exit or collapsed child-loop
+        // entry): freeze its live-in set as a boundary constant.
+        for (Reg Rg : WholeLV.liveInRegs(Succ))
+          LS.Boundary[S].push_back(Rg);
+      }
+    }
+    std::sort(LS.Boundary[S].begin(), LS.Boundary[S].end());
+    LS.Boundary[S].erase(
+        std::unique(LS.Boundary[S].begin(), LS.Boundary[S].end()),
+        LS.Boundary[S].end());
+  }
+
+  LS.recompute(F);
+  return LS;
+}
+
+void LivenessSlice::recompute(const Function &F) {
+  // Dense universe from the function's *current* counters so registers
+  // created by renaming since build() are representable.
+  ClassBase[0] = 0;
+  ClassBase[1] = F.numRegs(RegClass::GPR);
+  ClassBase[2] = ClassBase[1] + F.numRegs(RegClass::FPR);
+  Universe = ClassBase[2] + F.numRegs(RegClass::CR);
+
+  unsigned U = Universe;
+  unsigned N = static_cast<unsigned>(Blocks.size());
+
+  std::vector<BitSet> UEVar(N, BitSet(U)), Kill(N, BitSet(U));
+  std::vector<BitSet> BoundaryBits(N, BitSet(U));
+  for (unsigned S = 0; S != N; ++S) {
+    for (InstrId Id : F.block(Blocks[S]).instrs()) {
+      const Instruction &I = F.instr(Id);
+      for (Reg Rg : I.uses()) {
+        unsigned Idx = denseIndex(Rg);
+        if (!Kill[S].test(Idx))
+          UEVar[S].set(Idx);
+      }
+      for (Reg Rg : I.defs())
+        Kill[S].set(denseIndex(Rg));
+    }
+    for (Reg Rg : Boundary[S])
+      BoundaryBits[S].set(denseIndex(Rg));
+  }
+
+  LiveIns = UEVar;
+  LiveOuts.assign(N, BitSet(U));
+
+  // Backward fixed point over the region blocks only; the frozen boundary
+  // plays the role of the out-of-region successors' live-in sets.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned K = N; K-- > 0;) {
+      BitSet Out = BoundaryBits[K];
+      for (unsigned T : InSuccs[K])
+        Out.unionWith(LiveIns[T]);
+      if (Out == LiveOuts[K])
+        continue; // LiveIn is a function of LiveOut: nothing to redo
+      BitSet In = Out;
+      In.subtract(Kill[K]);
+      In.unionWith(UEVar[K]);
+      LiveOuts[K] = std::move(Out);
+      if (!(In == LiveIns[K])) {
+        LiveIns[K] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool LivenessSlice::isLiveOut(BlockId B, Reg R) const {
+  return LiveOuts[slotOf(B)].test(denseIndex(R));
+}
+
+bool LivenessSlice::isLiveIn(BlockId B, Reg R) const {
+  return LiveIns[slotOf(B)].test(denseIndex(R));
+}
+
+RegionSlice RegionSlice::build(const Function &F, SchedRegion R) {
+  return build(F, std::move(R), Liveness::compute(F));
+}
+
+RegionSlice RegionSlice::build(const Function &F, SchedRegion R,
+                               const Liveness &WholeLV) {
+  RegionSlice S;
+  S.LV = LivenessSlice::build(F, R, WholeLV);
+  S.CD = ControlDeps::compute(R);
+  for (const RegionNode &N : R.nodes())
+    if (N.isBlock()) {
+      S.Blocks.push_back(N.Block);
+      for (InstrId Id : F.block(N.Block).instrs())
+        S.Instrs.push_back(Id);
+    }
+  S.R = std::move(R);
+  return S;
+}

@@ -45,6 +45,15 @@ std::string EngineReport::summary() const {
   S += formatString("  rollbacks: %u (region %u / transform %u)\n",
                     rollbacks(), Aggregate.RegionsRolledBack,
                     Aggregate.TransformsRolledBack);
+  S += formatString(
+      "  region scheduling: %u task(s) in %u wave(s), %.3fs total\n",
+      static_cast<unsigned>(Aggregate.RegionTimes.size()),
+      Aggregate.RegionWaves, [this] {
+        double T = 0;
+        for (const RegionTime &RT : Aggregate.RegionTimes)
+          T += RT.Seconds;
+        return T;
+      }());
   return S;
 }
 

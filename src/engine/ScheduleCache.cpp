@@ -58,6 +58,10 @@ uint64_t gis::fingerprintOptions(const PipelineOptions &Opts) {
   H.addBool(Opts.EnableOracle);
   H.addBool(Opts.OracleModule != nullptr);
   H.addU64(Opts.OracleMaxSteps);
+  // RegionJobs is deliberately NOT part of the fingerprint: region-parallel
+  // scheduling is bit-identical to sequential (see sched/Pipeline.h), so
+  // cache entries are shared across --region-jobs values.  Asserted by
+  // tests/region_parallel_test.cpp.
   return H.hash();
 }
 

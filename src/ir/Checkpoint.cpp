@@ -4,6 +4,41 @@
 
 using namespace gis;
 
+RegionSnapshot::RegionSnapshot(const Function &F, std::vector<BlockId> Bs)
+    : Blocks(std::move(Bs)) {
+  BlockInstrs.reserve(Blocks.size());
+  for (BlockId B : Blocks) {
+    BlockInstrs.push_back(F.block(B).instrs());
+    for (InstrId Id : BlockInstrs.back())
+      Instrs.emplace_back(Id, F.instr(Id));
+  }
+  for (RegClass C : {RegClass::GPR, RegClass::FPR, RegClass::CR})
+    RegCounts[static_cast<unsigned>(C)] = F.numRegs(C);
+}
+
+void RegionSnapshot::restore(Function &F) const {
+  for (unsigned K = 0; K != Blocks.size(); ++K)
+    F.block(Blocks[K]).instrs() = BlockInstrs[K];
+  for (const auto &[Id, Ins] : Instrs)
+    F.instr(Id) = Ins;
+  for (RegClass C : {RegClass::GPR, RegClass::FPR, RegClass::CR})
+    F.setRegCount(C, RegCounts[static_cast<unsigned>(C)]);
+}
+
+void RegionSnapshot::applyTo(Function &F,
+                             const std::function<Reg(Reg)> &RemapReg) const {
+  for (unsigned K = 0; K != Blocks.size(); ++K)
+    F.block(Blocks[K]).instrs() = BlockInstrs[K];
+  for (const auto &[Id, Ins] : Instrs) {
+    Instruction Copy = Ins;
+    for (Reg &D : Copy.defs())
+      D = RemapReg(D);
+    for (Reg &U : Copy.uses())
+      U = RemapReg(U);
+    F.instr(Id) = std::move(Copy);
+  }
+}
+
 static bool instructionsIdentical(const Instruction &A, const Instruction &B) {
   return A.opcode() == B.opcode() && A.defs() == B.defs() &&
          A.uses() == B.uses() && A.imm() == B.imm() && A.cond() == B.cond() &&

@@ -11,7 +11,9 @@
 /// failed verification rolls the function back to it bit-for-bit.  A
 /// Function is a handful of dense vectors (instruction pool, blocks,
 /// layout, register counters), so a snapshot is one deep copy with no
-/// pointer fix-up.
+/// pointer fix-up.  RegionSnapshot narrows the transaction boundary to one
+/// scheduling region so independent regions can fail (and roll back) or
+/// commit without touching each other's blocks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +21,11 @@
 #define GIS_IR_CHECKPOINT_H
 
 #include "ir/Function.h"
+
+#include <array>
+#include <functional>
+#include <utility>
+#include <vector>
 
 namespace gis {
 
@@ -40,6 +47,46 @@ public:
 
 private:
   Function Saved;
+};
+
+/// A snapshot of one scheduling region's slice of a Function: the
+/// instruction lists of the region's blocks, the pool entries of the
+/// instructions those lists reference, and the register counters.  This is
+/// the region-local transaction boundary of the parallel pipeline
+/// (sched/Pipeline.cpp): a failed region rolls back -- or a successful one
+/// commits -- only its own blocks, leaving sibling regions' schedules
+/// untouched, where the whole-function FunctionSnapshot would discard them.
+class RegionSnapshot {
+public:
+  /// Captures the contents of \p Blocks in \p F.  Region scheduling never
+  /// moves instructions across the region boundary, so these lists (plus
+  /// the registers counters for renaming) are exactly the state a region
+  /// transaction can change.
+  RegionSnapshot(const Function &F, std::vector<BlockId> Blocks);
+
+  /// Rolls the captured blocks of \p F back to the snapshot, including the
+  /// register counters.  \p F must not have been mutated outside the
+  /// captured region since the snapshot was taken.
+  void restore(Function &F) const;
+
+  /// Commits the captured region contents into \p F (which may be a
+  /// different Function object of identical shape, e.g. the master copy a
+  /// parallel region task was forked from), rewriting every register
+  /// operand through \p RemapReg.  The parallel pipeline uses this to
+  /// renumber task-allocated registers into the master's counter space in
+  /// deterministic region-index order.  Register counters are not touched;
+  /// the caller advances them to cover the remapped registers.
+  void applyTo(Function &F, const std::function<Reg(Reg)> &RemapReg) const;
+
+  const std::vector<BlockId> &blocks() const { return Blocks; }
+
+private:
+  std::vector<BlockId> Blocks;
+  /// Per captured block (parallel to Blocks): its instruction list.
+  std::vector<std::vector<InstrId>> BlockInstrs;
+  /// Pool entries of every instruction referenced by the captured lists.
+  std::vector<std::pair<InstrId, Instruction>> Instrs;
+  std::array<unsigned, 3> RegCounts = {0, 0, 0};
 };
 
 /// Field-by-field equality of two functions: same name, parameters,

@@ -66,6 +66,14 @@ public:
       Counter = R.index() + 1;
   }
 
+  /// Rewinds the register counter of \p Class to exactly \p Count
+  /// (checkpoint support: RegionSnapshot::restore discards registers
+  /// allocated after the snapshot, which by construction are unreferenced
+  /// once the snapshot's instructions are back in place).
+  void setRegCount(RegClass Class, unsigned Count) {
+    RegCounters[static_cast<unsigned>(Class)] = Count;
+  }
+
   //===--------------------------------------------------------------------===
   // Blocks and layout
   //===--------------------------------------------------------------------===

@@ -3,6 +3,7 @@
 #include "sched/GlobalScheduler.h"
 
 #include "analysis/Liveness.h"
+#include "analysis/RegionSlice.h"
 #include "sched/Heuristics.h"
 #include "sched/ListScheduler.h"
 #include "sched/Renaming.h"
@@ -14,7 +15,8 @@ using namespace gis;
 
 GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
                                                  const SchedRegion &R,
-                                                 Status *Err) {
+                                                 Status *Err,
+                                                 const RegionSlice *Slice) {
   GlobalSchedStats Stats;
   if (Err)
     *Err = Status::ok();
@@ -47,15 +49,28 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     CurNode[N] = DD.ddgNode(N).RegionNode;
 
   // Live-on-exit sets, maintained dynamically (Section 5.3): recomputed
-  // lazily after motions.
-  Liveness LV = Liveness::compute(F);
+  // lazily after motions.  With a RegionSlice the view is region-restricted
+  // (frozen out-of-region boundary) and recomputation touches only the
+  // region's blocks; without one, classic whole-function liveness.
+  Liveness LV;
+  LivenessSlice SLV;
+  const bool UseSlice = Slice != nullptr;
+  if (UseSlice)
+    SLV = Slice->liveness();
+  else
+    LV = Liveness::compute(F);
   bool LivenessDirty = false;
-  auto FreshLiveness = [&]() -> Liveness & {
-    if (LivenessDirty) {
+  auto FreshenLiveness = [&]() {
+    if (!LivenessDirty)
+      return;
+    if (UseSlice)
+      SLV.recompute(F);
+    else
       LV = Liveness::compute(F);
-      LivenessDirty = false;
-    }
-    return LV;
+    LivenessDirty = false;
+  };
+  std::function<bool(BlockId, Reg)> IsLiveOut = [&](BlockId B, Reg Rg) {
+    return UseSlice ? SLV.isLiveOut(B, Rg) : LV.isLiveOut(B, Rg);
   };
 
   unsigned SpecDepth =
@@ -131,11 +146,11 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
       if (!Failure.isOk())
         return false; // already failing: no further motion
       InstrId I = DD.ddgNode(Node).Instr;
-      Liveness &Live = FreshLiveness();
+      FreshenLiveness();
       // Collect conflicting defs first; rename only if all are renameable.
       std::vector<Reg> Conflicts;
       for (Reg D : F.instr(I).defs())
-        if (Live.isLiveOut(ABlock, D))
+        if (IsLiveOut(ABlock, D))
           Conflicts.push_back(D);
       if (Conflicts.empty())
         return true;
@@ -152,7 +167,7 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
           return false;
         }
       for (Reg D : Conflicts) {
-        if (!renameLocalDef(F, Home, I, D, Live)) {
+        if (!renameLocalDef(F, Home, I, D, IsLiveOut)) {
           ++Stats.VetoedSpeculations;
           return false; // earlier successful renames remain; still sound
         }

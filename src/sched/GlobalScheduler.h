@@ -32,6 +32,8 @@
 
 namespace gis {
 
+class RegionSlice;
+
 /// Scheduling level (paper Section 5.1 "two levels of scheduling").
 enum class SchedLevel : uint8_t {
   None,        ///< no global scheduling (baseline)
@@ -90,8 +92,17 @@ public:
   /// left mid-transform -- the caller owns a checkpoint and must roll back.
   /// With \p Err null such failures abort, preserving the historical
   /// fail-fast contract for direct callers without a transaction layer.
+  ///
+  /// With \p Slice non-null (a RegionSlice built on \p F in its current
+  /// state for this same region), the Section 5.3 live-on-exit guard uses
+  /// the slice's region-restricted liveness instead of whole-function
+  /// liveness: recomputation after a motion or rename then touches only
+  /// the region's blocks, and -- the point of the slice -- the scheduler
+  /// reads nothing outside the region, so disjoint regions of one function
+  /// can be scheduled concurrently (sched/Pipeline.cpp).
   GlobalSchedStats scheduleRegion(Function &F, const SchedRegion &R,
-                                  Status *Err = nullptr);
+                                  Status *Err = nullptr,
+                                  const RegionSlice *Slice = nullptr);
 
 private:
   MachineDescription MD;

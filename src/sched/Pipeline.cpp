@@ -3,6 +3,7 @@
 #include "sched/Pipeline.h"
 
 #include "analysis/Region.h"
+#include "analysis/RegionSlice.h"
 #include "interp/DifferentialOracle.h"
 #include "ir/Checkpoint.h"
 #include "ir/Verifier.h"
@@ -12,9 +13,14 @@
 #include "sched/ScheduleVerifier.h"
 #include "sched/Unroll.h"
 #include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <functional>
+#include <map>
+#include <memory>
 
 using namespace gis;
 
@@ -44,19 +50,19 @@ struct TxContext {
   PipelineStats &Stats;
 };
 
-/// Runs one transform as a transaction: snapshot, transform, verify,
-/// commit or roll back.
+/// Runs one whole-function transform as a transaction: snapshot,
+/// transform, verify, commit or roll back.  Region scheduling does not
+/// come through here -- it uses the region-local transaction boundary of
+/// scheduleRegionWave below, which rolls back a single region instead of
+/// the whole function.
 ///
-/// \param Stage    stable stage name ("prerename", "unroll", "region",
-///                 "rotate", "duplicate", "local"); also the fault
-///                 injection trigger point (GIS_FAULT_INJECT).
+/// \param Stage    stable stage name ("prerename", "unroll", "rotate",
+///                 "duplicate", "local"); also the fault injection trigger
+///                 point (GIS_FAULT_INJECT).
 /// \param LoopIdx  region loop index for diagnostics (-1: whole function).
 /// \param Body     the transform.  Records its statistics into the passed
 ///                 delta (merged into Ctx.Stats only on commit) and
 ///                 reports recoverable failures through its return Status.
-/// \param SemanticRegion when non-null, the semantic schedule verifier
-///                 re-checks every motion of the transaction against this
-///                 region (built on the pre-transaction function).
 /// \param RegionScoped controls which rollback counter a failure bumps.
 ///
 /// Returns true when the transaction committed.  With transactions
@@ -64,7 +70,7 @@ struct TxContext {
 /// Status aborts (the historical fail-fast contract).
 bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
                     const std::function<Status(PipelineStats &)> &Body,
-                    const SchedRegion *SemanticRegion, bool RegionScoped) {
+                    bool RegionScoped) {
   if (!Ctx.Opts.EnableTransactions) {
     PipelineStats Delta;
     Status S = Body(Delta);
@@ -89,14 +95,6 @@ bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
     std::vector<std::string> Problems = verifyFunction(Ctx.F);
     if (!Problems.empty()) {
       S = Status::error(ErrorCode::VerifierStructural, Problems.front());
-      ++Ctx.Stats.VerifierFailures;
-    }
-  }
-  if (S.isOk() && Ctx.Opts.VerifySemantic && SemanticRegion) {
-    std::vector<std::string> Problems = verifyRegionSchedule(
-        Snap.function(), Ctx.F, *SemanticRegion, Ctx.MD);
-    if (!Problems.empty()) {
-      S = Status::error(ErrorCode::VerifierSemantic, Problems.front());
       ++Ctx.Stats.VerifierFailures;
     }
   }
@@ -125,32 +123,203 @@ bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
   return false;
 }
 
-/// Schedules region \p LoopIdx (or -1 for the top level) if it is within
-/// the size limits.  Runs as one transaction with semantic verification.
-void scheduleOneRegion(TxContext &Ctx, const LoopInfo &LI, int LoopIdx) {
-  SchedRegion R = SchedRegion::build(Ctx.F, LI, LoopIdx);
-  if (R.numRealBlocks() > Ctx.Opts.RegionBlockLimit ||
-      R.numInstrs() > Ctx.Opts.RegionInstrLimit) {
-    ++Ctx.Stats.RegionsSkippedBySize;
-    return;
+//===----------------------------------------------------------------------===
+// Region-parallel scheduling (the region dependence forest)
+//===----------------------------------------------------------------------===
+//
+// Two regions of one function conflict exactly when one encloses the other:
+// the enclosing region reads the enclosed loop's blocks through its summary
+// nodes (SummaryDefs/SummaryUses), and "shares" no block otherwise --
+// regions partition the function's blocks.  The dependence structure is
+// therefore the loop forest itself, and its levels are the parallel waves:
+// all loops of equal forest height are pairwise disjoint and independent,
+// while a parent must wait for its children's commits.  The top-level
+// region runs as the final wave of the second pass.
+//
+// Execution model (RegionJobs > 1): each wave forks the function once
+// ("Base"); every region task copies Base, schedules its region there
+// against its RegionSlice, and verifies the copy.  The serial merge then
+// walks tasks in region-index order: a failed task's copy is simply
+// dropped (the region-local rollback -- siblings are unaffected), a
+// successful task's region blocks are committed into the master function
+// via RegionSnapshot::applyTo, with registers the task allocated (renames)
+// renumbered into the master's counter space in that same deterministic
+// order.  A task never reads outside its slice, and the merge order is
+// independent of thread interleaving, so the output is bit-identical for
+// every RegionJobs value.
+
+/// One region task of a wave.
+struct RegionTask {
+  int LoopIdx = -1;
+  RegionSlice Slice;
+  Function Priv{""}; ///< the task's private copy of the wave-base function
+  PipelineStats Delta; ///< body statistics, merged only on commit
+  Status S;
+  bool FaultInjected = false;
+  unsigned EngFailures = 0;
+  unsigned VerFailures = 0;
+  unsigned OracleFailures = 0;
+  double Seconds = 0;
+};
+
+/// Forest height of every loop (leaves are 0); children therefore always
+/// sit in a strictly earlier wave than their parent.
+std::vector<unsigned> loopHeights(const LoopInfo &LI) {
+  std::vector<unsigned> H(LI.numLoops(), 0);
+  for (unsigned L : LI.innermostFirstOrder()) // children visited first
+    for (int C : LI.loop(L).Children)
+      H[L] = std::max(H[L], H[C] + 1);
+  return H;
+}
+
+/// Schedules one wave of mutually independent regions (\p LoopIdxs; -1 is
+/// the top-level region).  \p PoolFor returns the pool to dispatch on (or
+/// null to run inline) given the number of runnable tasks.
+void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
+                        const std::vector<int> &LoopIdxs,
+                        const std::function<ThreadPool *(size_t)> &PoolFor) {
+  const bool Transactional = Ctx.Opts.EnableTransactions;
+
+  // Serial setup on the master function: region shapes, size limits,
+  // slices.  The whole-function liveness is computed once per wave and
+  // only used to freeze the slices' out-of-region boundaries.
+  std::vector<std::unique_ptr<RegionTask>> Tasks;
+  Liveness WaveLV;
+  bool HaveWaveLV = false;
+  for (int LoopIdx : LoopIdxs) {
+    SchedRegion R = SchedRegion::build(Ctx.F, LI, LoopIdx);
+    if (R.numRealBlocks() > Ctx.Opts.RegionBlockLimit ||
+        R.numInstrs() > Ctx.Opts.RegionInstrLimit) {
+      ++Ctx.Stats.RegionsSkippedBySize;
+      continue;
+    }
+    if (!HaveWaveLV) {
+      WaveLV = Liveness::compute(Ctx.F);
+      HaveWaveLV = true;
+    }
+    auto T = std::make_unique<RegionTask>();
+    T->LoopIdx = LoopIdx;
+    T->Slice = RegionSlice::build(Ctx.F, std::move(R), WaveLV);
+    Tasks.push_back(std::move(T));
   }
+  if (Tasks.empty())
+    return;
+
+  const Function Base = Ctx.F; // the wave's fork point
   GlobalSchedOptions GOpts;
   GOpts.Level = Ctx.Opts.Level;
   GOpts.MaxSpecDepth = Ctx.Opts.MaxSpecDepth;
   GOpts.EnableRenaming = Ctx.Opts.EnableRenaming;
   GOpts.Order = Ctx.Opts.Order;
   GOpts.Profile = Ctx.Opts.Profile;
-  GlobalScheduler GS(Ctx.MD, GOpts);
-  runTransaction(
-      Ctx, "region", LoopIdx,
-      [&](PipelineStats &Delta) {
-        Status S;
-        Delta.Global +=
-            GS.scheduleRegion(Ctx.F, R,
-                              Ctx.Opts.EnableTransactions ? &S : nullptr);
-        return S;
-      },
-      &R, /*RegionScoped=*/true);
+
+  auto RunTask = [&](RegionTask &T) {
+    auto Start = std::chrono::steady_clock::now();
+    T.Priv = Base;
+    GlobalScheduler GS(Ctx.MD, GOpts);
+    Status S;
+    T.Delta.Global += GS.scheduleRegion(T.Priv, T.Slice.region(),
+                                        Transactional ? &S : nullptr,
+                                        &T.Slice);
+    if (Transactional) {
+      if (!S.isOk())
+        ++T.EngFailures;
+      if (S.isOk() && FaultInjector::instance().shouldFire("region") &&
+          corruptRegionForTest(T.Priv, T.Slice.blocks()))
+        T.FaultInjected = true;
+      if (S.isOk() && Ctx.Opts.VerifyStructural) {
+        std::vector<std::string> Problems = verifyFunction(T.Priv);
+        if (!Problems.empty()) {
+          S = Status::error(ErrorCode::VerifierStructural, Problems.front());
+          ++T.VerFailures;
+        }
+      }
+      if (S.isOk() && Ctx.Opts.VerifySemantic) {
+        std::vector<std::string> Problems =
+            verifyRegionSchedule(Base, T.Priv, T.Slice.region(), Ctx.MD);
+        if (!Problems.empty()) {
+          S = Status::error(ErrorCode::VerifierSemantic, Problems.front());
+          ++T.VerFailures;
+        }
+      }
+      if (S.isOk() && Ctx.Opts.EnableOracle && Ctx.Opts.OracleModule) {
+        OracleOptions OOpts;
+        OOpts.MaxSteps = Ctx.Opts.OracleMaxSteps;
+        OracleReport Rep = runDifferentialOracle(*Ctx.Opts.OracleModule,
+                                                 Base, T.Priv, OOpts);
+        if (Rep.Verdict == OracleVerdict::Mismatch) {
+          S = Status::error(ErrorCode::OracleMismatch, Rep.Detail);
+          ++T.OracleFailures;
+        }
+      }
+    } else if (!S.isOk()) {
+      // Unreachable: with Err == nullptr scheduleRegion aborts on failure
+      // (the historical fail-fast contract).
+      fatalError(__FILE__, __LINE__, S.str().c_str());
+    }
+    T.S = S;
+    T.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+  };
+
+  if (ThreadPool *Pool = PoolFor(Tasks.size())) {
+    for (auto &T : Tasks)
+      Pool->submit([&RunTask, &Task = *T] { RunTask(Task); });
+    Pool->waitIdle();
+  } else {
+    for (auto &T : Tasks)
+      RunTask(*T);
+  }
+
+  // Serial merge in region-index (construction) order: failure counters
+  // always, body statistics and the region patch only on commit.
+  const std::array<RegClass, 3> Classes = {RegClass::GPR, RegClass::FPR,
+                                           RegClass::CR};
+  std::array<unsigned, 3> BaseRegs;
+  for (unsigned C = 0; C != 3; ++C)
+    BaseRegs[C] = Base.numRegs(Classes[C]);
+  const unsigned Wave = Ctx.Stats.RegionWaves;
+  for (auto &TP : Tasks) {
+    RegionTask &T = *TP;
+    if (Transactional)
+      ++Ctx.Stats.TransactionsRun;
+    Ctx.Stats.EngineFailures += T.EngFailures;
+    Ctx.Stats.VerifierFailures += T.VerFailures;
+    Ctx.Stats.OracleMismatches += T.OracleFailures;
+    if (T.FaultInjected)
+      ++Ctx.Stats.FaultsInjected;
+    Ctx.Stats.RegionTimes.push_back({T.LoopIdx, Wave, T.Seconds});
+    if (!T.S.isOk()) {
+      // Region-local rollback: drop the private copy; siblings and the
+      // master function are untouched by construction.
+      ++Ctx.Stats.RegionsRolledBack;
+      reportDiagnostic(Ctx.Stats.Diags, T.S, Ctx.F.name(), "region",
+                       T.LoopIdx);
+      continue;
+    }
+    Ctx.Stats += T.Delta;
+    // Commit: copy the region's blocks into the master, renumbering the
+    // registers this task allocated (renames) into the master's counter
+    // space.  Task-order renumbering keeps the result independent of how
+    // the tasks interleaved.
+    std::array<unsigned, 3> MasterBase;
+    for (unsigned C = 0; C != 3; ++C)
+      MasterBase[C] = Ctx.F.numRegs(Classes[C]);
+    RegionSnapshot Patch(T.Priv, T.Slice.blocks());
+    Patch.applyTo(Ctx.F, [&](Reg R) {
+      unsigned C = static_cast<unsigned>(R.regClass());
+      if (R.index() < BaseRegs[C])
+        return R;
+      return Reg::make(R.regClass(), MasterBase[C] + (R.index() - BaseRegs[C]));
+    });
+    for (unsigned C = 0; C != 3; ++C) {
+      unsigned Fresh = T.Priv.numRegs(Classes[C]) - BaseRegs[C];
+      if (Fresh > 0)
+        Ctx.F.noteReg(Reg::make(Classes[C], MasterBase[C] + Fresh - 1));
+    }
+  }
+  ++Ctx.Stats.RegionWaves;
 }
 
 } // namespace
@@ -169,6 +338,26 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     GlobalEnabled = false;
   }
 
+  // The pool for region waves, created lazily for the first wave with two
+  // or more runnable regions.  The pipeline owns its own pool rather than
+  // borrowing the engine's: this run may itself be an engine task, and
+  // waitIdle() must not be called from inside a task of the same pool.
+  // With the oracle enabled region tasks run serially (the oracle
+  // interprets whole functions); wave semantics are kept either way, so
+  // the output does not depend on RegionJobs.
+  const unsigned RegionJobs =
+      Opts.RegionJobs == 0 ? ThreadPool::hardwareThreads() : Opts.RegionJobs;
+  std::unique_ptr<ThreadPool> RegionPool;
+  auto PoolFor = [&](size_t NumTasks) -> ThreadPool * {
+    if (RegionJobs <= 1 || NumTasks <= 1)
+      return nullptr;
+    if (Opts.EnableOracle && Opts.OracleModule)
+      return nullptr;
+    if (!RegionPool)
+      RegionPool = std::make_unique<ThreadPool>(RegionJobs);
+    return RegionPool.get();
+  };
+
   // Step 0: the Section 4.2 preprocessing -- rename block-local values so
   // register reuse does not manufacture anti/output dependences.  In the
   // paper this renaming belongs to the XL compiler's general optimization
@@ -181,7 +370,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           Delta.PreRenamedDefs = preRenameLocals(F).RenamedDefs;
           return Status::ok();
         },
-        nullptr, /*RegionScoped=*/false);
+        /*RegionScoped=*/false);
 
   if (GlobalEnabled) {
     // Step 1: unroll small inner loops once.  Each unroll invalidates
@@ -215,7 +404,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                   ++Delta.LoopsUnrolled;
                 return S;
               },
-              nullptr, /*RegionScoped=*/false);
+              /*RegionScoped=*/false);
           if (Committed && Changed) {
             Progress = true;
             break; // LoopInfo is stale; restart
@@ -224,11 +413,18 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
       }
     }
 
-    // Step 2: first global scheduling pass over the inner regions.
+    // Step 2: first global scheduling pass over the inner regions.  Inner
+    // loops are leaves of the loop forest, hence pairwise disjoint: one
+    // wave.
     LI = LoopInfo::compute(F);
-    for (unsigned L : LI.innermostFirstOrder())
-      if (isInnerLoop(LI, L))
-        scheduleOneRegion(Ctx, LI, static_cast<int>(L));
+    {
+      std::vector<int> Inner;
+      for (unsigned L : LI.innermostFirstOrder())
+        if (isInnerLoop(LI, L))
+          Inner.push_back(static_cast<int>(L));
+      if (!Inner.empty())
+        scheduleRegionWave(Ctx, LI, Inner, PoolFor);
+    }
 
     // Step 3: rotate small inner loops.  As with unrolling, a rolled-back
     // rotation leaves the loop in its original shape and moves on.
@@ -261,7 +457,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                   ++Delta.LoopsRotated;
                 return S;
               },
-              nullptr, /*RegionScoped=*/false);
+              /*RegionScoped=*/false);
           if (Committed && Changed) {
             // The rotated loop's header changes; remember the new loops by
             // marking every current header as done after one rotation.
@@ -277,17 +473,28 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     }
 
     // Step 4: second global scheduling pass -- rotated inner loops plus
-    // outer regions (and the top-level region).
+    // outer regions (and the top-level region).  Loops are grouped into
+    // waves by loop-forest height, ascending: same-height loops are
+    // pairwise disjoint (independent), while a parent region reads its
+    // children's blocks through its summary nodes and so runs only after
+    // their wave committed.
     LI = LoopInfo::compute(F);
-    for (unsigned L : LI.innermostFirstOrder()) {
-      bool Schedule = isInnerLoop(LI, L) ||
-                      (Opts.OnlyTwoInnerLevels ? isOuterLoop(LI, L) : true);
-      if (Schedule)
-        scheduleOneRegion(Ctx, LI, static_cast<int>(L));
+    {
+      std::vector<unsigned> Heights = loopHeights(LI);
+      std::map<unsigned, std::vector<int>> Waves; // height -> loops
+      for (unsigned L : LI.innermostFirstOrder()) {
+        bool Schedule = isInnerLoop(LI, L) ||
+                        (Opts.OnlyTwoInnerLevels ? isOuterLoop(LI, L) : true);
+        if (Schedule)
+          Waves[Heights[L]].push_back(static_cast<int>(L));
+      }
+      for (const auto &[Height, Loops] : Waves)
+        scheduleRegionWave(Ctx, LI, Loops, PoolFor);
     }
     // The function body region: with the two-level restriction it is
     // scheduled only when no loop nesting exceeds it (the body is then
-    // effectively the outer region).
+    // effectively the outer region).  It encloses every loop, so it is a
+    // single-region wave after all of them.
     bool ScheduleTop = true;
     if (Opts.OnlyTwoInnerLevels) {
       for (unsigned L = 0; L != LI.numLoops(); ++L)
@@ -295,7 +502,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           ScheduleTop = false; // top level sits above two loop levels
     }
     if (ScheduleTop)
-      scheduleOneRegion(Ctx, LI, -1);
+      scheduleRegionWave(Ctx, LI, {-1}, PoolFor);
 
     // Future-work extension: join replication (Definition 6) over the
     // inner regions, feeding the final basic-block pass extra slack.
@@ -319,7 +526,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                   duplicateIntoPreds(F, R, DOpts).DuplicatedInstrs;
               return Status::ok();
             },
-            nullptr, /*RegionScoped=*/true);
+            /*RegionScoped=*/true);
       }
     }
   }
@@ -333,7 +540,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           Delta.Local = scheduleLocal(F, MD);
           return Status::ok();
         },
-        nullptr, /*RegionScoped=*/false);
+        /*RegionScoped=*/false);
 
   F.recomputeCFG();
   F.renumberOriginalOrder();

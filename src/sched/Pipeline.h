@@ -30,6 +30,18 @@
 /// scheduled concurrently (the engine widens its work unit to the module
 /// in that configuration).
 ///
+/// Region-level parallelism: with PipelineOptions::RegionJobs > 1 the two
+/// global scheduling passes dispatch independent regions of *one* function
+/// to an internal thread pool (never the engine's: a pipeline run may
+/// itself be an engine task, and blocking a pool on work queued to the
+/// same pool would deadlock).  Each region task schedules a private copy
+/// of the function forked from the wave start and the results are merged
+/// in region-index order, so the output is bit-identical for every
+/// RegionJobs value -- see the "Region-parallel scheduling" section of
+/// DESIGN.md.  With the oracle enabled, region tasks run serially (the
+/// oracle interprets whole functions); the wave-snapshot semantics are
+/// kept, so the output is still RegionJobs-invariant.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SCHED_PIPELINE_H
@@ -80,6 +92,15 @@ struct PipelineOptions {
   bool AllowDuplication = false;
   unsigned MaxDuplicationsPerRegion = 16;
 
+  /// Worker threads for scheduling independent regions of one function
+  /// concurrently (gisc --region-jobs).  1 runs regions inline; 0 uses the
+  /// hardware thread count.  The scheduled output is bit-identical for
+  /// every value (asserted by tests/region_parallel_test.cpp), which is
+  /// also why the schedule cache deliberately leaves this field out of its
+  /// options fingerprint (engine/ScheduleCache.cpp).  Composes with
+  /// EngineOptions::Jobs: a batch may run up to Jobs x RegionJobs workers.
+  unsigned RegionJobs = 1;
+
   //===--------------------------------------------------------------------===
   // Transactional execution (failure model & recovery; see DESIGN.md)
   //===--------------------------------------------------------------------===
@@ -106,6 +127,15 @@ struct PipelineOptions {
   uint64_t OracleMaxSteps = 500'000;
 };
 
+/// Wall-clock of one region-scheduling task, for --stats (-1: the
+/// top-level region).  Waves number the region dependence forest's levels
+/// across both global passes, in commit order.
+struct RegionTime {
+  int LoopIdx = -1;
+  unsigned Wave = 0;
+  double Seconds = 0;
+};
+
 /// Aggregate statistics of one pipeline run.
 struct PipelineStats {
   GlobalSchedStats Global;
@@ -116,6 +146,13 @@ struct PipelineStats {
   unsigned DuplicatedInstrs = 0;
   unsigned RegionsSkippedBySize = 0;
   unsigned FunctionsSkippedIrreducible = 0;
+
+  /// Waves of the region dependence forest dispatched by the two global
+  /// scheduling passes (a wave's regions are mutually independent and may
+  /// run concurrently; see PipelineOptions::RegionJobs).
+  unsigned RegionWaves = 0;
+  /// One record per region-scheduling task, in deterministic commit order.
+  std::vector<RegionTime> RegionTimes;
 
   // Transactional execution (see PipelineOptions::EnableTransactions).
   unsigned TransactionsRun = 0;
@@ -148,6 +185,9 @@ struct PipelineStats {
     DuplicatedInstrs += RHS.DuplicatedInstrs;
     RegionsSkippedBySize += RHS.RegionsSkippedBySize;
     FunctionsSkippedIrreducible += RHS.FunctionsSkippedIrreducible;
+    RegionWaves += RHS.RegionWaves;
+    RegionTimes.insert(RegionTimes.end(), RHS.RegionTimes.begin(),
+                       RHS.RegionTimes.end());
     TransactionsRun += RHS.TransactionsRun;
     RegionsRolledBack += RHS.RegionsRolledBack;
     TransformsRolledBack += RHS.TransformsRolledBack;

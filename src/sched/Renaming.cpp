@@ -6,6 +6,13 @@ using namespace gis;
 
 bool gis::renameLocalDef(Function &F, BlockId B, InstrId I, Reg Old,
                          const Liveness &LV) {
+  return renameLocalDef(F, B, I, Old, [&LV](BlockId Blk, Reg R) {
+    return LV.isLiveOut(Blk, R);
+  });
+}
+
+bool gis::renameLocalDef(Function &F, BlockId B, InstrId I, Reg Old,
+                         const std::function<bool(BlockId, Reg)> &IsLiveOut) {
   const std::vector<InstrId> &Instrs = F.block(B).instrs();
 
   // Locate I in B and collect the uses its definition reaches: uses after
@@ -34,7 +41,7 @@ bool gis::renameLocalDef(Function &F, BlockId B, InstrId I, Reg Old,
   // If the value survives to the block end, uses elsewhere may read it:
   // renaming would have to chase them across blocks.  Keep to the provable
   // local case.
-  if (!Redefined && LV.isLiveOut(B, Old))
+  if (!Redefined && IsLiveOut(B, Old))
     return false;
 
   Reg Fresh = F.newReg(Old.regClass());

@@ -27,6 +27,8 @@
 #include "analysis/Liveness.h"
 #include "ir/Function.h"
 
+#include <functional>
+
 namespace gis {
 
 /// Tries to rename register \p Old, defined by instruction \p I (currently
@@ -36,6 +38,13 @@ namespace gis {
 /// escape the block (\p LV must be up to date for \p F).
 bool renameLocalDef(Function &F, BlockId B, InstrId I, Reg Old,
                     const Liveness &LV);
+
+/// Same, with the escape check abstracted behind a predicate: \p IsLiveOut
+/// must answer "is \p Old live on exit from \p B" against the current state
+/// of \p F.  Lets the global scheduler supply a region-restricted liveness
+/// view (analysis/RegionSlice.h) instead of whole-function liveness.
+bool renameLocalDef(Function &F, BlockId B, InstrId I, Reg Old,
+                    const std::function<bool(BlockId, Reg)> &IsLiveOut);
 
 } // namespace gis
 

@@ -46,9 +46,14 @@ bool FaultInjector::shouldFire(const char *StageName) {
 }
 
 bool gis::corruptFunctionForTest(Function &F) {
+  return corruptRegionForTest(F, F.layout());
+}
+
+bool gis::corruptRegionForTest(Function &F,
+                               const std::vector<BlockId> &Blocks) {
   // Prefer a reordering corruption that the structural verifier is
   // guaranteed to catch: a reversed block puts its terminator first.
-  for (BlockId B : F.layout()) {
+  for (BlockId B : Blocks) {
     std::vector<InstrId> &Instrs = F.block(B).instrs();
     if (Instrs.size() >= 2 && F.terminatorOf(B) != InvalidId) {
       std::reverse(Instrs.begin(), Instrs.end());
@@ -56,7 +61,7 @@ bool gis::corruptFunctionForTest(Function &F) {
     }
   }
   // Fallback: one instruction in two positions.
-  for (BlockId B : F.layout()) {
+  for (BlockId B : Blocks) {
     std::vector<InstrId> &Instrs = F.block(B).instrs();
     if (!Instrs.empty()) {
       Instrs.push_back(Instrs.front());

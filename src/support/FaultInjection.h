@@ -23,12 +23,15 @@
 #ifndef GIS_SUPPORT_FAULTINJECTION_H
 #define GIS_SUPPORT_FAULTINJECTION_H
 
+#include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace gis {
 
 class Function;
+using BlockId = uint32_t;
 
 /// Process-wide fault-injection state.
 ///
@@ -93,6 +96,12 @@ private:
 /// instruction in two positions).  Returns false when the function has no
 /// corruptible block.
 bool corruptFunctionForTest(Function &F);
+
+/// Same corruption strategies, restricted to \p Blocks (one scheduling
+/// region's blocks): a "region" fault then damages exactly the region that
+/// owns the transaction, so tests can assert sibling regions survive the
+/// rollback untouched.  Returns false when no listed block is corruptible.
+bool corruptRegionForTest(Function &F, const std::vector<BlockId> &Blocks);
 
 } // namespace gis
 

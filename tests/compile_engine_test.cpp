@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <iterator>
 
@@ -257,7 +258,11 @@ TEST(CompileEngineTest, ParallelAndCachedCompilesAreBitIdentical) {
     unsigned Jobs;
     bool Cache;
   };
-  const Config Configs[] = {{1, false}, {8, false}, {1, true}, {8, true}};
+  // Parallel width follows the host rather than a hardcoded 8: at least 2
+  // so the parallel path is exercised everywhere, at most 8 so small CI
+  // hosts are not oversubscribed.
+  const unsigned Par = std::clamp(ThreadPool::hardwareThreads(), 2u, 8u);
+  const Config Configs[] = {{1, false}, {Par, false}, {1, true}, {Par, true}};
 
   std::string ReferenceIR;
   std::vector<uint64_t> ReferenceCycles;

@@ -1,0 +1,349 @@
+//===- tests/region_parallel_test.cpp - Region-parallel scheduling tests ---===//
+//
+// The region-equivalence harness for region-parallel scheduling
+// (sched/Pipeline.cpp, analysis/RegionSlice.h):
+//
+//  1. Property test over the random-program corpus: the region-local
+//     analysis views of a RegionSlice (dominators, liveness, CSPDG) must
+//     agree with the whole-function analyses restricted to the region's
+//     blocks.  This is the foundation the parallel scheduler stands on --
+//     a region task consults only its slice, so the slice must never
+//     disagree with what a whole-function run would have seen.
+//
+//  2. Determinism: scheduling with --region-jobs N is bit-identical to
+//     sequential scheduling for every N, asserted on the printed IR and on
+//     its 128-bit content hash, through both the raw pipeline and the
+//     batch engine, cache on and off.  Because the output is invariant,
+//     the schedule cache deliberately leaves RegionJobs out of its options
+//     fingerprint; that sharing is asserted here too.
+//
+// This file is part of the `gis_parallel_tests` executable (ctest label
+// "parallel"), which scripts/check.sh also runs under ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/ControlDeps.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Region.h"
+#include "analysis/RegionSlice.h"
+#include "engine/CompileEngine.h"
+#include "frontend/CodeGen.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sched/Pipeline.h"
+#include "support/Hashing.h"
+#include "support/ThreadPool.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace gis;
+
+namespace {
+
+/// Every register the function has ever numbered, all classes.
+std::vector<Reg> allRegs(const Function &F) {
+  std::vector<Reg> Regs;
+  for (RegClass C : {RegClass::GPR, RegClass::FPR, RegClass::CR})
+    for (unsigned K = 0; K != F.numRegs(C); ++K)
+      Regs.push_back(Reg::make(C, K));
+  return Regs;
+}
+
+//===----------------------------------------------------------------------===
+// Satellite 1: slice analyses == whole-function analyses restricted to the
+// region's blocks, over the random-program corpus.
+//===----------------------------------------------------------------------===
+
+TEST(RegionSliceTest, SliceAnalysesMatchWholeFunctionOnCorpus) {
+  unsigned RegionsChecked = 0;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    std::unique_ptr<Module> M = compileMiniCOrDie(generateRandomMiniC(Seed));
+    for (const auto &FPtr : M->functions()) {
+      Function &F = *FPtr;
+      F.recomputeCFG();
+      F.renumberOriginalOrder();
+      LoopInfo LI = LoopInfo::compute(F);
+      if (!LI.isReducible())
+        continue; // regions require reducibility, as does the pipeline
+
+      Liveness WholeLV = Liveness::compute(F);
+      DomTree WholeDom(buildCFG(F));
+      std::vector<Reg> Regs = allRegs(F);
+
+      for (int LoopIdx = -1; LoopIdx < static_cast<int>(LI.numLoops());
+           ++LoopIdx) {
+        SchedRegion R = SchedRegion::build(F, LI, LoopIdx);
+        RegionSlice S = RegionSlice::build(F, R, WholeLV);
+        ++RegionsChecked;
+
+        // -- Liveness: the slice solves the whole-function equations with
+        // the out-of-region successors frozen; on an unedited function the
+        // solution must coincide exactly with Liveness::compute.
+        unsigned LiveMismatches = 0;
+        for (BlockId B : S.blocks()) {
+          ASSERT_TRUE(S.ownsBlock(B));
+          for (Reg Rg : Regs) {
+            if (S.liveness().isLiveIn(B, Rg) != WholeLV.isLiveIn(B, Rg))
+              ++LiveMismatches;
+            if (S.liveness().isLiveOut(B, Rg) != WholeLV.isLiveOut(B, Rg))
+              ++LiveMismatches;
+          }
+        }
+        EXPECT_EQ(LiveMismatches, 0u)
+            << "seed " << Seed << " func " << F.name() << " loop " << LoopIdx;
+
+        // -- Dominators: for two real blocks of one region, dominance on
+        // the region's acyclic forward graph equals dominance on the full
+        // CFG.  (A reducible loop is entered only through its header, and
+        // removing back edges does not change dominators.)  Region
+        // *post*dominators are intentionally different -- the region graph
+        // routes loop exits to a virtual exit that the function CFG does
+        // not have -- so no restricted postdominator comparison exists.
+        unsigned DomMismatches = 0;
+        for (BlockId A : S.blocks()) {
+          int NA = S.region().nodeOfBlock(A);
+          ASSERT_GE(NA, 0);
+          for (BlockId B : S.blocks()) {
+            int NB = S.region().nodeOfBlock(B);
+            bool SliceDom = S.dom().dominates(static_cast<unsigned>(NA),
+                                              static_cast<unsigned>(NB));
+            if (SliceDom != WholeDom.dominates(A, B))
+              ++DomMismatches;
+          }
+        }
+        EXPECT_EQ(DomMismatches, 0u)
+            << "seed " << Seed << " func " << F.name() << " loop " << LoopIdx;
+
+        // -- CSPDG: the slice's control dependences must be exactly what a
+        // fresh region-local computation produces (the CSPDG is region-
+        // local by definition; the slice must snapshot it faithfully).
+        ControlDeps Fresh = ControlDeps::compute(S.region());
+        unsigned CDMismatches = 0;
+        for (unsigned N = 0; N != S.region().numNodes(); ++N) {
+          if (S.cspdg().deps(N) != Fresh.deps(N))
+            ++CDMismatches;
+          if (S.cspdg().cspdgSuccs(N) != Fresh.cspdgSuccs(N))
+            ++CDMismatches;
+          for (unsigned P = 0; P != S.region().numNodes(); ++P)
+            if (S.cspdg().identicallyControlDependent(N, P) !=
+                Fresh.identicallyControlDependent(N, P))
+              ++CDMismatches;
+        }
+        EXPECT_EQ(CDMismatches, 0u)
+            << "seed " << Seed << " func " << F.name() << " loop " << LoopIdx;
+      }
+    }
+  }
+  // The corpus must actually exercise the property (multi-loop programs).
+  EXPECT_GE(RegionsChecked, 400u);
+}
+
+//===----------------------------------------------------------------------===
+// Satellite 2: --region-jobs N output is bit-identical to sequential.
+//===----------------------------------------------------------------------===
+
+/// Schedules one source through the raw pipeline with \p RegionJobs and
+/// returns the printed module.
+std::string scheduledIR(const std::string &Source, unsigned RegionJobs) {
+  std::unique_ptr<Module> M = compileMiniCOrDie(Source);
+  PipelineOptions Opts; // full speculative pipeline, transactions on
+  Opts.RegionJobs = RegionJobs;
+  scheduleModule(*M, MachineDescription::rs6k(), Opts);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  return moduleToString(*M);
+}
+
+TEST(RegionParallelDeterminismTest, EightJobsBitIdenticalOnCorpus) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    std::string Source = generateRandomMiniC(Seed);
+    std::string Sequential = scheduledIR(Source, 1);
+    std::string Parallel = scheduledIR(Source, 8);
+    ASSERT_EQ(Parallel, Sequential) << "seed " << Seed;
+    EXPECT_EQ(hashKey128(Parallel), hashKey128(Sequential));
+  }
+}
+
+TEST(RegionParallelDeterminismTest, AllJobCountsAgree) {
+  for (uint64_t Seed : {3u, 7u, 11u, 19u}) {
+    std::string Source = generateRandomMiniC(Seed);
+    std::string Sequential = scheduledIR(Source, 1);
+    // 0 resolves to the hardware thread count.
+    for (unsigned Jobs : {0u, 2u, 3u, 5u, 16u})
+      EXPECT_EQ(scheduledIR(Source, Jobs), Sequential)
+          << "seed " << Seed << " region-jobs " << Jobs;
+  }
+}
+
+/// Batch helpers (mirroring compile_engine_test.cpp, which lives in the
+/// same executable but its own namespace).
+struct BatchModules {
+  std::vector<std::unique_ptr<Module>> Modules;
+  std::vector<BatchItem> Items;
+};
+
+BatchModules compileBatch(const std::vector<std::string> &Sources) {
+  BatchModules B;
+  for (size_t K = 0; K != Sources.size(); ++K) {
+    B.Modules.push_back(compileMiniCOrDie(Sources[K]));
+    B.Items.push_back(
+        BatchItem{B.Modules.back().get(), "m" + std::to_string(K)});
+  }
+  return B;
+}
+
+std::string printedBatch(const BatchModules &B) {
+  std::string All;
+  for (const auto &M : B.Modules)
+    All += moduleToString(*M);
+  return All;
+}
+
+std::vector<std::string> corpusSources() {
+  std::vector<std::string> Sources;
+  for (uint64_t Seed : {2001u, 2002u, 2004u, 2006u, 2009u, 2013u})
+    Sources.push_back(generateRandomMiniC(Seed));
+  return Sources;
+}
+
+// The engine-level contract: engine workers x region jobs x cache state,
+// all invisible in the output, bit for bit.
+TEST(RegionParallelEngineTest, RegionJobsAndCacheInvisibleInBatchOutput) {
+  MachineDescription MD = MachineDescription::rs6k();
+  std::vector<std::string> Sources = corpusSources();
+
+  struct Config {
+    unsigned RegionJobs;
+    bool Cache;
+  };
+  const Config Configs[] = {{1, false}, {8, false}, {1, true}, {8, true}};
+
+  std::string ReferenceIR;
+  for (const Config &C : Configs) {
+    BatchModules B = compileBatch(Sources);
+    PipelineOptions Opts;
+    Opts.RegionJobs = C.RegionJobs;
+    EngineOptions EOpts;
+    EOpts.Jobs = 2;
+    EOpts.UseCache = C.Cache;
+    CompileEngine Engine(MD, Opts, EOpts);
+    EngineReport Report = Engine.compileBatch(B.Items);
+    EXPECT_EQ(Report.rollbacks(), 0u);
+
+    std::string IR = printedBatch(B);
+    if (ReferenceIR.empty()) {
+      ReferenceIR = IR;
+      continue;
+    }
+    EXPECT_EQ(hashKey128(IR), hashKey128(ReferenceIR));
+    ASSERT_EQ(IR, ReferenceIR)
+        << "region-jobs " << C.RegionJobs << " cache " << C.Cache;
+  }
+}
+
+// RegionJobs is excluded from the cache's options fingerprint (the output
+// is invariant), so a cache warmed at one value serves every other value.
+TEST(RegionParallelEngineTest, CacheWarmedAtOneJobCountServesAnother) {
+  MachineDescription MD = MachineDescription::rs6k();
+  std::vector<std::string> Sources = corpusSources();
+  ScheduleCache Shared;
+
+  PipelineOptions SeqOpts;
+  SeqOpts.RegionJobs = 1;
+  EngineOptions EOpts;
+  EOpts.Jobs = 1;
+  EOpts.SharedCache = &Shared;
+
+  BatchModules Cold = compileBatch(Sources);
+  CompileEngine SeqEngine(MD, SeqOpts, EOpts);
+  EngineReport First = SeqEngine.compileBatch(Cold.Items);
+  EXPECT_EQ(First.CacheHits, 0u);
+
+  PipelineOptions ParOpts;
+  ParOpts.RegionJobs = 8;
+  BatchModules Warm = compileBatch(Sources);
+  CompileEngine ParEngine(MD, ParOpts, EOpts);
+  EngineReport Second = ParEngine.compileBatch(Warm.Items);
+  EXPECT_EQ(Second.CacheMisses, 0u);
+  EXPECT_EQ(printedBatch(Warm), printedBatch(Cold));
+}
+
+TEST(RegionParallelEngineTest, OptionsFingerprintIgnoresRegionJobs) {
+  PipelineOptions A, B;
+  B.RegionJobs = 8;
+  EXPECT_EQ(fingerprintOptions(A), fingerprintOptions(B));
+  // ...but stays sensitive to options that do change the output.
+  B.MaxSpecDepth = A.MaxSpecDepth + 1;
+  EXPECT_NE(fingerprintOptions(A), fingerprintOptions(B));
+}
+
+//===----------------------------------------------------------------------===
+// Per-region wave accounting (--stats plumbing)
+//===----------------------------------------------------------------------===
+
+TEST(RegionParallelStatsTest, WavesAndPerRegionTimesReported) {
+  // Two independent inner loops: one leaf wave with two tasks, then the
+  // top-level region in its own wave (across the two global passes).
+  std::unique_ptr<Module> M = compileMiniCOrDie(R"(
+    int main() {
+      int a = 0; int b = 0; int i = 0; int j = 0;
+      while (i < 10) { a = a + i; i = i + 1; }
+      while (j < 10) { b = b + j; j = j + 1; }
+      print(a); print(b);
+      return a + b;
+    }
+  )");
+  PipelineOptions Opts;
+  Opts.RegionJobs = 4;
+  PipelineStats Stats =
+      scheduleModule(*M, MachineDescription::rs6k(), Opts);
+  EXPECT_TRUE(verifyModule(*M).empty());
+
+  EXPECT_GE(Stats.RegionWaves, 2u);
+  // At minimum: both inner loops in the first pass and the top region in
+  // the second.
+  EXPECT_GE(Stats.RegionTimes.size(), 3u);
+  bool SawTop = false, SawLoop = false;
+  for (const RegionTime &RT : Stats.RegionTimes) {
+    EXPECT_GE(RT.Seconds, 0.0);
+    EXPECT_LT(RT.Wave, Stats.RegionWaves);
+    if (RT.LoopIdx == -1)
+      SawTop = true;
+    else
+      SawLoop = true;
+  }
+  EXPECT_TRUE(SawTop);
+  EXPECT_TRUE(SawLoop);
+
+  // A task's wave index is deterministic: re-running sequentially gives
+  // the same wave structure.
+  std::unique_ptr<Module> M2 = compileMiniCOrDie(R"(
+    int main() {
+      int a = 0; int b = 0; int i = 0; int j = 0;
+      while (i < 10) { a = a + i; i = i + 1; }
+      while (j < 10) { b = b + j; j = j + 1; }
+      print(a); print(b);
+      return a + b;
+    }
+  )");
+  PipelineOptions SeqOpts;
+  SeqOpts.RegionJobs = 1;
+  PipelineStats SeqStats =
+      scheduleModule(*M2, MachineDescription::rs6k(), SeqOpts);
+  ASSERT_EQ(SeqStats.RegionTimes.size(), Stats.RegionTimes.size());
+  EXPECT_EQ(SeqStats.RegionWaves, Stats.RegionWaves);
+  for (size_t K = 0; K != Stats.RegionTimes.size(); ++K) {
+    EXPECT_EQ(SeqStats.RegionTimes[K].LoopIdx, Stats.RegionTimes[K].LoopIdx);
+    EXPECT_EQ(SeqStats.RegionTimes[K].Wave, Stats.RegionTimes[K].Wave);
+  }
+  EXPECT_EQ(moduleToString(*M2), moduleToString(*M));
+}
+
+} // namespace

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/LoopInfo.h"
+#include "analysis/Region.h"
 #include "frontend/CodeGen.h"
 #include "interp/DifferentialOracle.h"
 #include "interp/Interpreter.h"
@@ -290,6 +292,107 @@ BL0:
                                            *B->functions()[0]);
   EXPECT_EQ(Rep.Verdict, OracleVerdict::Match) << Rep.Detail;
 }
+
+//===----------------------------------------------------------------------===
+// Region-local rollback (region-parallel scheduling support)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A function with two independent inner loops -- two sibling regions in
+/// one wave of the region dependence forest.
+const char *TwoLoopSource = R"(
+  int main() {
+    int a = 0; int b = 0; int i = 0; int j = 0;
+    while (i < 9) { a = a + i * 2; i = i + 1; }
+    while (j < 9) { b = b + j * 3; j = j + 1; }
+    print(a); print(b);
+    return a + b;
+  }
+)";
+
+/// The real-block set of loop \p LoopIdx of \p F.
+std::vector<BlockId> loopBlocks(const Function &F, int LoopIdx) {
+  LoopInfo LI = LoopInfo::compute(F);
+  SchedRegion R = SchedRegion::build(F, LI, LoopIdx);
+  std::vector<BlockId> Blocks;
+  for (const RegionNode &N : R.nodes())
+    if (N.isBlock())
+      Blocks.push_back(N.Block);
+  return Blocks;
+}
+
+} // namespace
+
+// A RegionSnapshot restores exactly the blocks it captured: corruption
+// inside the region is undone; a sibling region's state is not touched.
+TEST(RollbackTest, RegionSnapshotRestoresOnlyItsRegion) {
+  std::unique_ptr<Module> M = compileMiniCOrDie(TwoLoopSource);
+  Function &F = *M->functions()[0];
+  F.recomputeCFG();
+  F.renumberOriginalOrder();
+  std::vector<BlockId> Loop0 = loopBlocks(F, 0);
+  std::vector<BlockId> Loop1 = loopBlocks(F, 1);
+  ASSERT_FALSE(Loop0.empty());
+  ASSERT_FALSE(Loop1.empty());
+
+  FunctionSnapshot Orig(F);
+  RegionSnapshot Snap(F, Loop0);
+
+  // Corrupt the snapshotted region; restore must be bit-identical.
+  ASSERT_TRUE(corruptRegionForTest(F, Loop0));
+  EXPECT_FALSE(functionsIdentical(F, Orig.function()));
+  Snap.restore(F);
+  EXPECT_TRUE(functionsIdentical(F, Orig.function()));
+
+  // Corrupt a *sibling* region; restoring the loop-0 snapshot must leave
+  // the sibling's damage in place (region-local, not whole-function).
+  ASSERT_TRUE(corruptRegionForTest(F, Loop1));
+  Snap.restore(F);
+  EXPECT_FALSE(functionsIdentical(F, Orig.function()));
+}
+
+// A fault injected into one region's scheduling transaction rolls back
+// only that region: exactly one region rollback, no transform rollback,
+// every sibling region still scheduled and the function verifier green --
+// at region-jobs 1 and in parallel.
+class RegionFaultTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+TEST_P(RegionFaultTest, FaultRollsBackOnlyFaultedRegion) {
+  unsigned RegionJobs = GetParam();
+  PipelineOptions Opts;
+  Opts.RegionJobs = RegionJobs;
+
+  // Fault-free reference: how many regions a clean run schedules.
+  std::unique_ptr<Module> Ref = compileMiniCOrDie(TwoLoopSource);
+  PipelineStats RefStats =
+      scheduleModule(*Ref, MachineDescription::rs6k(), Opts);
+  ASSERT_EQ(RefStats.RegionsRolledBack, 0u);
+  ASSERT_GE(RefStats.Global.RegionsScheduled, 2u);
+
+  std::unique_ptr<Module> Base = compileMiniCOrDie(TwoLoopSource);
+  std::unique_ptr<Module> Sched = compileMiniCOrDie(TwoLoopSource);
+  FaultInjector::instance().arm("region");
+  PipelineStats Stats =
+      scheduleModule(*Sched, MachineDescription::rs6k(), Opts);
+  FaultInjector::instance().disarm();
+
+  ASSERT_EQ(Stats.FaultsInjected, 1u);
+  EXPECT_EQ(Stats.RegionsRolledBack, 1u) << diagDump(Stats);
+  EXPECT_EQ(Stats.TransformsRolledBack, 0u) << diagDump(Stats);
+  EXPECT_GE(Stats.VerifierFailures, 1u) << diagDump(Stats);
+  // Siblings committed: only the faulted region's work was dropped.
+  EXPECT_EQ(Stats.Global.RegionsScheduled,
+            RefStats.Global.RegionsScheduled - 1);
+  ASSERT_TRUE(verifyModule(*Sched).empty());
+  expectSameBehaviour(*Base, *Sched, TwoLoopSource);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegionJobs, RegionFaultTest,
+                         ::testing::Values(1u, 4u));
 
 TEST(DifferentialOracleTest, FlagsChangedObservableValue) {
   std::unique_ptr<Module> A = parseModuleOrDie(R"(
