@@ -8,10 +8,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "obs/Trace.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 using namespace gis;
 using namespace gis::bench;
@@ -164,6 +167,138 @@ void printTransactionTable() {
               "(GIS_FAULT_INJECT).\n");
 }
 
+// Compile-time cost of the observability subsystem (src/obs/), measured
+// like E7 as scheduling-only seconds.  The guarded number is the cost of
+// the *default* configuration -- counters on, tracer off -- over a run
+// with all collection disabled: the issue budget is < 2%.  The result is
+// merged into BENCH_engine.json (key "observability") next to the engine
+// throughput numbers so the perf trajectory is machine-trackable.
+/// Scheduling-only seconds for one workload, measured directly: the
+/// module is compiled once and each timed call schedules fresh copies of
+/// its functions.  Minimum of several trials -- the obs deltas under test
+/// are percent-level, far below the noise of a single differenced
+/// measurement (scheduleOnlySeconds subtracts two independently noisy
+/// quantities).
+double minScheduleSeconds(const Workload &W, const MachineDescription &MD,
+                          const PipelineOptions &Opts) {
+  auto M = compileMiniCOrDie(W.Source);
+  double Best = 1e9;
+  for (unsigned Trial = 0; Trial != 5; ++Trial) {
+    double Secs = secondsPerCall([&] {
+      for (const auto &F : M->functions()) {
+        Function Copy = *F;
+        schedulePipeline(Copy, MD, Opts);
+      }
+    });
+    Best = Best < Secs ? Best : Secs;
+  }
+  return Best;
+}
+
+void printObservabilityTable() {
+  MachineDescription MD = MachineDescription::rs6k();
+  std::vector<Config> Cs;
+
+  PipelineOptions Off = speculativeOptions();
+  Off.CollectCounters = false;
+  Off.CollectDecisions = false;
+  Cs.push_back({"obs off", Off});
+
+  Cs.push_back({"counters (default)", speculativeOptions()});
+
+  PipelineOptions Decisions = speculativeOptions();
+  Decisions.CollectDecisions = true;
+  Cs.push_back({"+ decision log", Decisions});
+
+  Cs.push_back({"+ tracer on", speculativeOptions()});
+
+  std::printf("\nE8: observability compile-time overhead "
+              "(scheduling-only, RS/6000)\n");
+  rule(90);
+  std::printf("%-22s", "CONFIG");
+  for (const Workload &W : specLikeWorkloads())
+    std::printf("%12s", W.Name.c_str());
+  std::printf("%12s\n", "OVERHEAD");
+  rule(90);
+
+  double Reference = 0, DefaultOverhead = 0, TracerOverhead = 0;
+  for (size_t K = 0; K != Cs.size(); ++K) {
+    const Config &C = Cs[K];
+    const bool Traced = K == 3; // "+ tracer on"
+    if (Traced)
+      obs::Tracer::instance().enable();
+    std::printf("%-22s", C.Name);
+    double Total = 0;
+    for (const Workload &W : specLikeWorkloads()) {
+      double Secs = minScheduleSeconds(W, MD, C.Opts);
+      Total += Secs;
+      std::printf("%10.2fms", Secs * 1e3);
+    }
+    if (Traced) {
+      obs::Tracer::instance().disable();
+      obs::Tracer::instance().clear();
+    }
+    if (Reference == 0)
+      Reference = Total;
+    double Overhead = 100.0 * (Total / Reference - 1.0);
+    if (K == 1)
+      DefaultOverhead = Overhead;
+    if (Traced)
+      TracerOverhead = Overhead;
+    std::printf("%11.1f%%\n", Overhead);
+  }
+  rule(90);
+  std::printf("the guarded number is row 2 (the default configuration: "
+              "counters on, tracer\noff) -- budget < 2%%.  '+ tracer on' "
+              "includes per-cycle instant events.\n");
+
+  // Merge into BENCH_engine.json: strip the closing brace of the existing
+  // document (written by bench_engine_throughput) and append our section;
+  // start a fresh document when none exists.
+  std::string Existing;
+  if (std::FILE *In = std::fopen("BENCH_engine.json", "r")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+      Existing.append(Buf, N);
+    std::fclose(In);
+    while (!Existing.empty() &&
+           (Existing.back() == '\n' || Existing.back() == ' ' ||
+            Existing.back() == '}'))
+      Existing.pop_back();
+  }
+  // Drop a previous "observability" section (and its separator) on re-runs.
+  if (size_t P = Existing.rfind("\n  \"observability\"");
+      P != std::string::npos)
+    Existing.resize(P);
+  while (!Existing.empty() &&
+         (Existing.back() == ',' || Existing.back() == '\n' ||
+          Existing.back() == ' '))
+    Existing.pop_back();
+  if (Existing == "{")
+    Existing.clear();
+  std::FILE *Out = std::fopen("BENCH_engine.json", "w");
+  if (!Out) {
+    std::fprintf(stderr, "bench_pipeline_ablation: cannot write "
+                         "BENCH_engine.json\n");
+    return;
+  }
+  std::fputs(Existing.empty() ? "{" : Existing.c_str(), Out);
+  std::fprintf(Out,
+               "%s\n  \"observability\": {\n"
+               "    \"default_overhead_pct\": %.2f,\n"
+               "    \"tracer_on_overhead_pct\": %.2f,\n"
+               "    \"budget_pct\": 2.0\n"
+               "  }\n}\n",
+               Existing.empty() ? "" : ",", DefaultOverhead, TracerOverhead);
+  std::fclose(Out);
+  std::printf("wrote observability overhead to BENCH_engine.json\n");
+  if (DefaultOverhead >= 2.0)
+    std::printf("WARNING: default observability overhead %.2f%% exceeds "
+                "the 2%% budget\n",
+                DefaultOverhead);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -171,5 +306,6 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks();
   printPaperTable();
   printTransactionTable();
+  printObservabilityTable();
   return 0;
 }

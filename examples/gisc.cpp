@@ -35,6 +35,15 @@
 //   machine:
 //     --machine rs6k             (default)
 //     --machine FXxFPxBR         e.g. --machine 4x1x2
+//   observability (src/obs/):
+//     --stats-json FILE          machine-readable statistics + the full
+//                                obs counter registry as JSON
+//     --trace-json FILE          Chrome-trace JSON of the run (stages,
+//                                waves, regions, blocks, per-pick events);
+//                                load in chrome://tracing or Perfetto
+//     --explain                  per-pick decision log: candidate set,
+//                                winning Section 5.2 rule, motion class
+//     --no-counters              skip the obs counter registry
 //   inspection (to stdout):
 //     --dump-ir-before           IR as generated
 //     --dump-ir                  IR after scheduling
@@ -63,6 +72,8 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "machine/Timing.h"
+#include "obs/StatsJson.h"
+#include "obs/Trace.h"
 #include "sched/Pipeline.h"
 #include "sched/Profile.h"
 #include "sched/Report.h"
@@ -97,6 +108,9 @@ struct CliOptions {
   unsigned Jobs = 1;
   bool UseCache = true;
   std::vector<std::string> BatchFiles;
+  std::string TraceJsonPath;
+  std::string StatsJsonPath;
+  bool Explain = false;
 };
 
 void usage() {
@@ -223,6 +237,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.EngineRequested = true;
     } else if (A == "--no-cache") {
       Cli.UseCache = false;
+    } else if (A == "--trace-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.TraceJsonPath = V;
+    } else if (A == "--stats-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.StatsJsonPath = V;
+    } else if (A == "--explain") {
+      Cli.Explain = true;
+      Cli.Pipeline.CollectDecisions = true;
+    } else if (A == "--no-counters") {
+      Cli.Pipeline.CollectCounters = false;
     } else if (!A.empty() && A[0] == '-') {
       std::cerr << "gisc: unknown option " << A << "\n";
       return false;
@@ -313,6 +342,33 @@ void dumpRegions(const Module &M, const MachineDescription &MD, bool CSPDG,
   }
 }
 
+/// Finishes a --trace-json run: stop the tracer and write the file.
+/// Returns false (and reports) when the file cannot be written.
+bool exportTraceJson(const CliOptions &Cli) {
+  if (Cli.TraceJsonPath.empty())
+    return true;
+  obs::Tracer &Tr = obs::Tracer::instance();
+  Tr.disable();
+  std::ofstream Out(Cli.TraceJsonPath);
+  if (!Out) {
+    std::cerr << "gisc: cannot write trace to " << Cli.TraceJsonPath
+              << "\n";
+    return false;
+  }
+  Tr.exportChromeJson(Out);
+  return true;
+}
+
+/// The obs counter registry, one stable key per line (under --stats).
+void printCounters(const obs::CounterSet &C) {
+  std::cout << "  counters:\n";
+  for (unsigned K = 0; K != obs::NumCounters; ++K) {
+    auto Id = static_cast<obs::CounterId>(K);
+    std::cout << "    " << obs::counterKey(Id) << " = " << C.get(Id)
+              << "\n";
+  }
+}
+
 } // namespace
 
 /// The engine path: several inputs and/or a worker pool, deterministic
@@ -346,7 +402,11 @@ int runEngineMode(const CliOptions &Cli,
   std::vector<BatchItem> Batch;
   for (size_t K = 0; K != Modules.size(); ++K)
     Batch.push_back(BatchItem{Modules[K].get(), Paths[K]});
+  if (!Cli.TraceJsonPath.empty())
+    obs::Tracer::instance().enable();
   EngineReport Report = Engine.compileBatch(Batch);
+  if (!exportTraceJson(Cli))
+    return 1;
 
   for (size_t K = 0; K != Modules.size(); ++K) {
     const Module &M = *Modules[K];
@@ -361,6 +421,9 @@ int runEngineMode(const CliOptions &Cli,
       dumpRegions(M, Cli.Machine, Cli.DumpCSPDG, Cli.DumpDDG);
   }
 
+  if (Cli.Explain)
+    obs::renderDecisions(Report.Aggregate.Decisions, std::cout);
+
   if (Cli.Stats) {
     std::cout << Report.summary();
     for (const FunctionCompileResult &R : Report.PerFunction)
@@ -369,6 +432,18 @@ int runEngineMode(const CliOptions &Cli,
                 << static_cast<long>(R.CompileSeconds * 1e6) << "us\n";
     for (const Diagnostic &D : Report.Aggregate.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
+    if (Cli.Pipeline.CollectCounters)
+      printCounters(Report.Aggregate.Counters);
+  }
+
+  if (!Cli.StatsJsonPath.empty()) {
+    std::ofstream Out(Cli.StatsJsonPath);
+    if (!Out) {
+      std::cerr << "gisc: cannot write stats to " << Cli.StatsJsonPath
+                << "\n";
+      return 1;
+    }
+    obs::writeEngineReportJson(Out, Report);
   }
   return 0;
 }
@@ -422,6 +497,8 @@ int main(int argc, char **argv) {
 
   ScheduleReport Rep;
   PipelineStats Stats;
+  if (!Cli.TraceJsonPath.empty())
+    obs::Tracer::instance().enable();
   if (Cli.Report) {
     Rep = scheduleWithReport(*M, Cli.Machine, Cli.Pipeline);
     Stats = Rep.Stats;
@@ -429,6 +506,10 @@ int main(int argc, char **argv) {
   } else {
     Stats = scheduleModule(*M, Cli.Machine, Cli.Pipeline);
   }
+  if (!exportTraceJson(Cli))
+    return 1;
+  if (Cli.Explain)
+    obs::renderDecisions(Stats.Decisions, std::cout);
 
   if (Cli.DumpIR)
     printModule(*M, std::cout);
@@ -468,6 +549,8 @@ int main(int argc, char **argv) {
                 << ": " << static_cast<long>(RT.Seconds * 1e6) << "us\n";
     for (const Diagnostic &D : Stats.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
+    if (Cli.Pipeline.CollectCounters)
+      printCounters(Stats.Counters);
     for (const auto &F : M->functions()) {
       RegPressure P = computeRegPressure(*F);
       std::cout << "  " << F->name() << ": peak live GPR/FPR/CR = "
@@ -475,6 +558,16 @@ int main(int argc, char **argv) {
                 << P.maxLive(RegClass::FPR) << "/"
                 << P.maxLive(RegClass::CR) << "\n";
     }
+  }
+
+  if (!Cli.StatsJsonPath.empty()) {
+    std::ofstream Out(Cli.StatsJsonPath);
+    if (!Out) {
+      std::cerr << "gisc: cannot write stats to " << Cli.StatsJsonPath
+                << "\n";
+      return 1;
+    }
+    obs::writePipelineStatsJson(Out, Stats);
   }
 
   if (Cli.Run) {

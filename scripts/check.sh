@@ -32,11 +32,15 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): parallel suites =="
+echo "== sanitized build (thread): parallel + obs suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "parallel" label covers gis_parallel_tests: the batch engine, the
 # thread pool / cache / hashing units, and the region-parallel scheduling
-# determinism tests (tests/region_parallel_test.cpp).
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L parallel
+# determinism tests (tests/region_parallel_test.cpp).  The "obs" label
+# covers gis_obs_tests: the event tracer records from region worker
+# threads and the counter/decision buffers merge across them, so the
+# observability suite runs under TSan too (it is already part of the full
+# ASan run above).
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs'
 
 echo "OK: all suites passed"

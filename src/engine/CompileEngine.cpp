@@ -2,6 +2,7 @@
 
 #include "engine/CompileEngine.h"
 
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
@@ -120,11 +121,21 @@ EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
       Function &F = *Unit.Funcs[K];
       FunctionCompileResult &R = Report.PerFunction[Unit.Slots[K]];
       R.QueueWaitSeconds = K == 0 ? QueueWait : 0.0;
+      obs::Tracer &Tr = obs::Tracer::instance();
+      obs::TraceSpan FnSpan("function", "engine", "slot",
+                            static_cast<int64_t>(Unit.Slots[K]), nullptr, 0,
+                            Tr.enabled() ? R.Item + ":" + R.Function
+                                         : std::string());
       Clock::time_point Start = Clock::now();
       if (CacheOn) {
         Key128 Key = scheduleCacheKey(F, MachineFp, OptionsFp);
         if (Cache->lookup(Key, F, R.Stats)) {
           R.CacheHit = true;
+          // A hit replays the cached PipelineStats -- including its obs
+          // counters and decision log -- so observability stays exact
+          // whether or not the schedule was recomputed.
+          Tr.instant("cache-hit", "engine", "slot",
+                     static_cast<int64_t>(Unit.Slots[K]));
           R.CompileSeconds = secondsSince(Start);
           continue;
         }
@@ -164,6 +175,12 @@ EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
     Report.TotalQueueWaitSeconds += R.QueueWaitSeconds;
     Report.TotalCompileSeconds += R.CompileSeconds;
     Report.Aggregate += R.Stats;
+  }
+  // Cache traffic lives at the engine layer, not in any one pipeline run,
+  // so it enters the merged registry here (after the deterministic merge).
+  if (Opts.CollectCounters) {
+    Report.Aggregate.Counters.bump(obs::CacheHits, Report.CacheHits);
+    Report.Aggregate.Counters.bump(obs::CacheMisses, Report.CacheMisses);
   }
   Report.WallSeconds = secondsSince(WallStart);
   return Report;

@@ -58,6 +58,12 @@ uint64_t gis::fingerprintOptions(const PipelineOptions &Opts) {
   H.addBool(Opts.EnableOracle);
   H.addBool(Opts.OracleModule != nullptr);
   H.addU64(Opts.OracleMaxSteps);
+  // The observability flags ARE part of the fingerprint: cached
+  // PipelineStats replay their obs counters and decision log on a hit, so
+  // an entry produced without them must not serve a run that wants them
+  // (and vice versa).
+  H.addBool(Opts.CollectCounters);
+  H.addBool(Opts.CollectDecisions);
   // RegionJobs is deliberately NOT part of the fingerprint: region-parallel
   // scheduling is bit-identical to sequential (see sched/Pipeline.h), so
   // cache entries are shared across --region-jobs values.  Asserted by

@@ -1,0 +1,48 @@
+//===- obs/Counters.cpp - Scheduler counters registry ----------------------===//
+
+#include "obs/Counters.h"
+
+#include "support/Assert.h"
+
+using namespace gis;
+using namespace gis::obs;
+
+namespace {
+
+struct CounterInfo {
+  std::string_view Key;
+  std::string_view Label;
+};
+
+/// Indexed by CounterId; keep in enum order.
+constexpr CounterInfo Infos[NumCounters] = {
+    {"motion.useful", "useful motions"},
+    {"motion.speculative", "speculative motions"},
+    {"motion.duplication", "duplicated instructions"},
+    {"rule.useful_over_spec", "rule 1/2 wins (useful class)"},
+    {"rule.spec_freq", "profile tie-break wins (spec frequency)"},
+    {"rule.delay_useful", "rule 3 wins (D, useful)"},
+    {"rule.delay_spec", "rule 4 wins (D, speculative)"},
+    {"rule.cp_useful", "rule 5 wins (CP, useful)"},
+    {"rule.cp_spec", "rule 6 wins (CP, speculative)"},
+    {"rule.source_order", "rule 7 wins (source order)"},
+    {"sched.picks_contested", "picks with >= 2 candidates"},
+    {"sched.picks_uncontested", "picks with 1 candidate"},
+    {"spec.veto_liveout", "live-on-exit guard rejections"},
+    {"spec.renames", "renaming rescues"},
+    {"tx.rollbacks", "transactions rolled back"},
+    {"cache.hits", "schedule-cache hits"},
+    {"cache.misses", "schedule-cache misses"},
+};
+
+} // namespace
+
+std::string_view obs::counterKey(CounterId Id) {
+  GIS_ASSERT(static_cast<unsigned>(Id) < NumCounters, "counter id range");
+  return Infos[static_cast<unsigned>(Id)].Key;
+}
+
+std::string_view obs::counterLabel(CounterId Id) {
+  GIS_ASSERT(static_cast<unsigned>(Id) < NumCounters, "counter id range");
+  return Infos[static_cast<unsigned>(Id)].Label;
+}

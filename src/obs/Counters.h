@@ -1,0 +1,132 @@
+//===- obs/Counters.h - Scheduler counters registry -------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counters registry of the observability subsystem: a fixed set of
+/// named uint64 counters covering code motions by classification, the
+/// Section 5.2 comparator-rule wins, the Section 5.3 live-on-exit guard,
+/// and the transactional/caching machinery.  A CounterSet is a plain
+/// value: schedulers bump a private set, the pipeline merges committed
+/// deltas in deterministic (region-index, then input) order, so totals are
+/// exact for every --jobs/--region-jobs width -- the same discipline
+/// PipelineStats already follows.
+///
+/// Rule-win accounting: when an instruction is picked from a ready list
+/// with at least two live candidates, exactly one of the seven rule
+/// counters is bumped -- the first comparator (in the configured
+/// PriorityOrder) that separates the winner from the best runner-up.  The
+/// paper states the rules in pairs (1/2 class, 3/4 delay, 5/6 critical
+/// path, 7 source order); within a pair the winner's class picks the odd
+/// (useful) or even (speculative) member.  The profile tie-break among
+/// speculative candidates is this repo's extension slot between rules 2
+/// and 3 and is counted separately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OBS_COUNTERS_H
+#define GIS_OBS_COUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace gis {
+namespace obs {
+
+/// Every counter of the registry.  Keep counterInfo() in Counters.cpp in
+/// sync with this list.
+enum class CounterId : unsigned {
+  // Code motions by classification.
+  MotionUseful,      ///< external pick from U(A) (rules 1/2 class "useful")
+  MotionSpeculative, ///< external pick gambling on >= 1 branch
+  MotionDuplication, ///< instructions replicated by join duplication
+
+  // Comparator-rule wins (Section 5.2; see the header comment).
+  RuleUsefulOverSpec, ///< rules 1/2: class separated the candidates
+  RuleSpecFreq,       ///< profile tie-break among speculative candidates
+  RuleDelayUseful,    ///< rule 3: D decided, winner useful
+  RuleDelaySpec,      ///< rule 4: D decided, winner speculative
+  RuleCritPathUseful, ///< rule 5: CP decided, winner useful
+  RuleCritPathSpec,   ///< rule 6: CP decided, winner speculative
+  RuleSourceOrder,    ///< rule 7: original program order decided
+
+  // Pick accounting (the rule-win denominators).
+  PicksContested,   ///< scheduled with >= 2 live candidates
+  PicksUncontested, ///< scheduled as the only live candidate
+
+  // Section 5.3 live-on-exit guard.
+  SpecVetoLiveOut, ///< speculative motions rejected by the guard
+  SpecRenames,     ///< motions rescued by register renaming
+
+  // Transactions and caching.
+  Rollbacks,   ///< region or whole-function transactions rolled back
+  CacheHits,   ///< schedule-cache hits (engine path)
+  CacheMisses, ///< schedule-cache misses (engine path)
+
+  NumCounters
+};
+
+constexpr unsigned NumCounters =
+    static_cast<unsigned>(CounterId::NumCounters);
+
+// Namespace-level aliases so instrumentation sites read obs::MotionUseful
+// rather than obs::CounterId::MotionUseful.
+inline constexpr CounterId MotionUseful = CounterId::MotionUseful;
+inline constexpr CounterId MotionSpeculative = CounterId::MotionSpeculative;
+inline constexpr CounterId MotionDuplication = CounterId::MotionDuplication;
+inline constexpr CounterId RuleUsefulOverSpec = CounterId::RuleUsefulOverSpec;
+inline constexpr CounterId RuleSpecFreq = CounterId::RuleSpecFreq;
+inline constexpr CounterId RuleDelayUseful = CounterId::RuleDelayUseful;
+inline constexpr CounterId RuleDelaySpec = CounterId::RuleDelaySpec;
+inline constexpr CounterId RuleCritPathUseful = CounterId::RuleCritPathUseful;
+inline constexpr CounterId RuleCritPathSpec = CounterId::RuleCritPathSpec;
+inline constexpr CounterId RuleSourceOrder = CounterId::RuleSourceOrder;
+inline constexpr CounterId PicksContested = CounterId::PicksContested;
+inline constexpr CounterId PicksUncontested = CounterId::PicksUncontested;
+inline constexpr CounterId SpecVetoLiveOut = CounterId::SpecVetoLiveOut;
+inline constexpr CounterId SpecRenames = CounterId::SpecRenames;
+inline constexpr CounterId Rollbacks = CounterId::Rollbacks;
+inline constexpr CounterId CacheHits = CounterId::CacheHits;
+inline constexpr CounterId CacheMisses = CounterId::CacheMisses;
+
+/// Stable machine-readable key of a counter ("motion.useful", "rule.delay_useful", ...).
+std::string_view counterKey(CounterId Id);
+
+/// Human-readable description for --stats.
+std::string_view counterLabel(CounterId Id);
+
+/// A plain, addable set of all registry counters.
+struct CounterSet {
+  std::array<uint64_t, NumCounters> V{};
+
+  void bump(CounterId Id, uint64_t N = 1) {
+    V[static_cast<unsigned>(Id)] += N;
+  }
+  uint64_t get(CounterId Id) const { return V[static_cast<unsigned>(Id)]; }
+
+  /// Sum of the seven Section 5.2 rule-win counters.
+  uint64_t ruleWinTotal() const {
+    return get(CounterId::RuleUsefulOverSpec) + get(CounterId::RuleSpecFreq) +
+           get(CounterId::RuleDelayUseful) + get(CounterId::RuleDelaySpec) +
+           get(CounterId::RuleCritPathUseful) +
+           get(CounterId::RuleCritPathSpec) + get(CounterId::RuleSourceOrder);
+  }
+
+  CounterSet &operator+=(const CounterSet &RHS) {
+    for (unsigned K = 0; K != NumCounters; ++K)
+      V[K] += RHS.V[K];
+    return *this;
+  }
+  friend bool operator==(const CounterSet &A, const CounterSet &B) {
+    return A.V == B.V;
+  }
+};
+
+} // namespace obs
+} // namespace gis
+
+#endif // GIS_OBS_COUNTERS_H

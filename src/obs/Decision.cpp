@@ -1,0 +1,60 @@
+//===- obs/Decision.cpp - Scheduler decision log ---------------------------===//
+
+#include "obs/Decision.h"
+
+#include "obs/Counters.h"
+#include "support/Format.h"
+
+#include <ostream>
+
+using namespace gis;
+using namespace gis::obs;
+
+std::string_view obs::ruleName(RuleId Rule) {
+  switch (Rule) {
+  case RuleId::None:
+    return "-";
+  case RuleId::UsefulOverSpec:
+    return "class";
+  case RuleId::SpecFreq:
+    return "freq";
+  case RuleId::DelayUseful:
+    return "D/useful";
+  case RuleId::DelaySpec:
+    return "D/spec";
+  case RuleId::CritPathUseful:
+    return "CP/useful";
+  case RuleId::CritPathSpec:
+    return "CP/spec";
+  case RuleId::SourceOrder:
+    return "order";
+  }
+  return "?";
+}
+
+void obs::renderDecisions(const std::vector<Decision> &Log,
+                          std::ostream &OS) {
+  for (const Decision &D : Log) {
+    OS << D.Fn << " " << D.Stage;
+    if (D.LoopIdx != -2)
+      OS << " region "
+         << (D.LoopIdx < 0 ? std::string("top") : std::to_string(D.LoopIdx));
+    OS << " b" << D.TargetBlock << " cycle " << D.Cycle << ": pick i"
+       << D.Instr << " " << D.Op;
+    switch (D.Kind) {
+    case MotionKind::Own:
+      OS << " (own)";
+      break;
+    case MotionKind::Useful:
+      OS << " (useful from b" << D.FromBlock << ")";
+      break;
+    case MotionKind::Speculative:
+      OS << " (speculative from b" << D.FromBlock << ")";
+      break;
+    }
+    OS << " rule=" << ruleName(D.Rule) << " cands=[";
+    for (size_t K = 0; K != D.Candidates.size(); ++K)
+      OS << (K ? " i" : "i") << D.Candidates[K];
+    OS << "]\n";
+  }
+}

@@ -1,0 +1,156 @@
+//===- obs/StatsJson.cpp - Machine-readable statistics ---------------------===//
+
+#include "obs/StatsJson.h"
+
+#include "engine/CompileEngine.h"
+#include "obs/Counters.h"
+#include "sched/Pipeline.h"
+
+#include <ostream>
+
+using namespace gis;
+using namespace gis::obs;
+
+namespace {
+
+void writeJsonString(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        const char *Hex = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xf] << Hex[C & 0xf];
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+/// Comma-managed emission of one JSON object's fields.
+class ObjectWriter {
+public:
+  ObjectWriter(std::ostream &OS, const char *Indent) : OS(OS), Ind(Indent) {}
+
+  std::ostream &key(std::string_view K) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n" << Ind;
+    writeJsonString(OS, K);
+    OS << ": ";
+    return OS;
+  }
+  void field(std::string_view K, uint64_t V) { key(K) << V; }
+  void fieldF(std::string_view K, double V) { key(K) << V; }
+  void fieldStr(std::string_view K, std::string_view V) {
+    writeJsonString(key(K), V);
+  }
+  void fieldBool(std::string_view K, bool V) {
+    key(K) << (V ? "true" : "false");
+  }
+
+private:
+  std::ostream &OS;
+  const char *Ind;
+  bool First = true;
+};
+
+void writeCounters(std::ostream &OS, const CounterSet &C,
+                   const char *Indent) {
+  OS << "{";
+  ObjectWriter W(OS, Indent);
+  for (unsigned K = 0; K != NumCounters; ++K)
+    W.field(counterKey(static_cast<CounterId>(K)),
+            C.get(static_cast<CounterId>(K)));
+  OS << "\n" << (Indent + 2) << "}";
+}
+
+/// The PipelineStats scalars (everything --stats prints, minus the
+/// variable-length diagnostics) as one JSON object.
+void writePipelineFields(std::ostream &OS, const PipelineStats &S,
+                         const char *Indent) {
+  OS << "{";
+  ObjectWriter W(OS, Indent);
+  W.field("regions_scheduled", S.Global.RegionsScheduled);
+  W.field("blocks_scheduled", S.Global.BlocksScheduled);
+  W.field("useful_motions", S.Global.UsefulMotions);
+  W.field("speculative_motions", S.Global.SpeculativeMotions);
+  W.field("renames", S.Global.Renames);
+  W.field("vetoed_speculations", S.Global.VetoedSpeculations);
+  W.field("local_blocks_scheduled", S.Local.BlocksScheduled);
+  W.field("local_blocks_reordered", S.Local.BlocksReordered);
+  W.field("local_blocks_failed", S.Local.BlocksFailed);
+  W.field("loops_unrolled", S.LoopsUnrolled);
+  W.field("loops_rotated", S.LoopsRotated);
+  W.field("prerenamed_defs", S.PreRenamedDefs);
+  W.field("duplicated_instrs", S.DuplicatedInstrs);
+  W.field("regions_skipped_by_size", S.RegionsSkippedBySize);
+  W.field("functions_skipped_irreducible", S.FunctionsSkippedIrreducible);
+  W.field("region_waves", S.RegionWaves);
+  W.field("region_tasks", static_cast<uint64_t>(S.RegionTimes.size()));
+  W.field("transactions_run", S.TransactionsRun);
+  W.field("regions_rolled_back", S.RegionsRolledBack);
+  W.field("transforms_rolled_back", S.TransformsRolledBack);
+  W.field("verifier_failures", S.VerifierFailures);
+  W.field("oracle_mismatches", S.OracleMismatches);
+  W.field("engine_failures", S.EngineFailures);
+  W.field("faults_injected", S.FaultsInjected);
+  W.field("diagnostics", static_cast<uint64_t>(S.Diags.size()));
+  W.field("decisions", static_cast<uint64_t>(S.Decisions.size()));
+  OS << "\n" << (Indent + 2) << "}";
+}
+
+} // namespace
+
+void obs::writePipelineStatsJson(std::ostream &OS, const PipelineStats &S) {
+  OS << "{\n  \"schema\": \"gis-stats-v1\",\n  \"pipeline\": ";
+  writePipelineFields(OS, S, "    ");
+  OS << ",\n  \"counters\": ";
+  writeCounters(OS, S.Counters, "    ");
+  OS << "\n}\n";
+}
+
+void obs::writeEngineReportJson(std::ostream &OS, const EngineReport &R) {
+  OS << "{\n  \"schema\": \"gis-engine-stats-v1\",\n  \"engine\": {";
+  {
+    ObjectWriter W(OS, "    ");
+    W.field("threads", static_cast<uint64_t>(R.Threads));
+    W.field("functions_compiled", static_cast<uint64_t>(R.FunctionsCompiled));
+    W.field("cache_hits", R.CacheHits);
+    W.field("cache_misses", R.CacheMisses);
+    W.fieldF("wall_seconds", R.WallSeconds);
+    W.fieldF("total_queue_wait_seconds", R.TotalQueueWaitSeconds);
+    W.fieldF("total_compile_seconds", R.TotalCompileSeconds);
+  }
+  OS << "\n  },\n  \"pipeline\": ";
+  writePipelineFields(OS, R.Aggregate, "    ");
+  OS << ",\n  \"counters\": ";
+  writeCounters(OS, R.Aggregate.Counters, "    ");
+  OS << ",\n  \"per_function\": [";
+  for (size_t K = 0; K != R.PerFunction.size(); ++K) {
+    const FunctionCompileResult &F = R.PerFunction[K];
+    OS << (K ? ",\n    {" : "\n    {");
+    ObjectWriter W(OS, "      ");
+    W.fieldStr("item", F.Item);
+    W.fieldStr("function", F.Function);
+    W.fieldBool("cache_hit", F.CacheHit);
+    W.fieldF("compile_seconds", F.CompileSeconds);
+    OS << "\n    }";
+  }
+  OS << (R.PerFunction.empty() ? "]" : "\n  ]") << "\n}\n";
+}

@@ -1,0 +1,42 @@
+//===- obs/StatsJson.h - Machine-readable statistics ------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON emission of the pipeline / engine statistics plus the full obs
+/// counter registry, behind `gisc --stats-json FILE`.  The output is a
+/// single JSON object; counter entries are keyed by their stable registry
+/// keys (obs/Counters.cpp), so downstream tooling never parses the
+/// human-readable --stats text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OBS_STATSJSON_H
+#define GIS_OBS_STATSJSON_H
+
+#include <iosfwd>
+
+namespace gis {
+
+struct PipelineStats;
+struct EngineReport;
+
+namespace obs {
+
+/// Writes one pipeline run's statistics ({"schema": "gis-stats-v1", ...}):
+/// the PipelineStats scalars, the counter registry, and the per-region
+/// times.
+void writePipelineStatsJson(std::ostream &OS, const PipelineStats &S);
+
+/// Writes a batch-engine report ({"schema": "gis-engine-stats-v1", ...}):
+/// engine scalars, the aggregate pipeline statistics and counter registry,
+/// and one record per compiled function.
+void writeEngineReportJson(std::ostream &OS, const EngineReport &R);
+
+} // namespace obs
+} // namespace gis
+
+#endif // GIS_OBS_STATSJSON_H

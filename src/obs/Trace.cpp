@@ -1,0 +1,187 @@
+//===- obs/Trace.cpp - Structured event tracer -----------------------------===//
+
+#include "obs/Trace.h"
+
+#include <chrono>
+#include <ostream>
+
+using namespace gis;
+using namespace gis::obs;
+
+namespace {
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimal JSON string escaping for the "detail" arg.
+void writeJsonString(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        const char *Hex = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xf] << Hex[C & 0xf];
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+} // namespace
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Bufs.clear();
+  EpochNs.store(steadyNowNs(), std::memory_order_relaxed);
+  Gen.fetch_add(1, std::memory_order_release);
+  On.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { On.store(false, std::memory_order_release); }
+
+void Tracer::clear() {
+  On.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Bufs.clear();
+  Gen.fetch_add(1, std::memory_order_release);
+}
+
+Tracer::ThreadBuf &Tracer::localBuf() {
+  // One cached buffer pointer per thread, revalidated against the tracer
+  // generation: enable()/clear() orphan all previous buffers, so a stale
+  // pointer is never written again (the unique_ptrs were freed with the
+  // registry; the generation check keeps us from touching them).
+  struct Cache {
+    uint64_t Gen = ~0ull;
+    ThreadBuf *Buf = nullptr;
+  };
+  thread_local Cache C;
+  uint64_t Current = Gen.load(std::memory_order_acquire);
+  if (C.Gen != Current) {
+    auto Buf = std::make_unique<ThreadBuf>();
+    std::lock_guard<std::mutex> Lock(Mu);
+    Buf->Tid = static_cast<unsigned>(Bufs.size());
+    Bufs.push_back(std::move(Buf));
+    C.Buf = Bufs.back().get();
+    C.Gen = Current;
+  }
+  return *C.Buf;
+}
+
+void Tracer::record(char Ph, const char *Name, const char *Cat,
+                    const char *A0K, int64_t A0, const char *A1K, int64_t A1,
+                    std::string Detail) {
+  ThreadBuf &Buf = localBuf();
+  if (Buf.Events.size() >= MaxEventsPerThread) {
+    ++Buf.Dropped;
+    return;
+  }
+  TraceEvent E;
+  E.Ph = Ph;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsNs = steadyNowNs() - EpochNs.load(std::memory_order_relaxed);
+  E.Tid = Buf.Tid;
+  E.Arg0Key = A0K;
+  E.Arg0 = A0;
+  E.Arg1Key = A1K;
+  E.Arg1 = A1;
+  E.Detail = std::move(Detail);
+  Buf.Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> All;
+  for (const auto &Buf : Bufs)
+    All.insert(All.end(), Buf->Events.begin(), Buf->Events.end());
+  return All;
+}
+
+uint64_t Tracer::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t N = 0;
+  for (const auto &Buf : Bufs)
+    N += Buf->Dropped;
+  return N;
+}
+
+void Tracer::exportChromeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  OS << "{\"traceEvents\": [\n";
+  bool First = true;
+  uint64_t Dropped = 0;
+  for (const auto &Buf : Bufs) {
+    Dropped += Buf->Dropped;
+    for (const TraceEvent &E : Buf->Events) {
+      if (!First)
+        OS << ",\n";
+      First = false;
+      OS << "  {\"ph\": \"" << E.Ph << "\", \"name\": ";
+      writeJsonString(OS, E.Name);
+      OS << ", \"cat\": ";
+      writeJsonString(OS, E.Cat);
+      // Chrome-trace timestamps are microseconds; keep sub-us precision.
+      OS << ", \"pid\": 1, \"tid\": " << E.Tid << ", \"ts\": "
+         << static_cast<double>(E.TsNs) / 1000.0;
+      if (E.Ph == 'i')
+        OS << ", \"s\": \"t\"";
+      if (E.Arg0Key || E.Arg1Key || !E.Detail.empty()) {
+        OS << ", \"args\": {";
+        bool FirstArg = true;
+        auto Arg = [&](const char *Key, int64_t Val) {
+          if (!Key)
+            return;
+          if (!FirstArg)
+            OS << ", ";
+          FirstArg = false;
+          writeJsonString(OS, Key);
+          OS << ": " << Val;
+        };
+        Arg(E.Arg0Key, E.Arg0);
+        Arg(E.Arg1Key, E.Arg1);
+        if (!E.Detail.empty()) {
+          if (!FirstArg)
+            OS << ", ";
+          OS << "\"detail\": ";
+          writeJsonString(OS, E.Detail);
+        }
+        OS << "}";
+      }
+      OS << "}";
+    }
+  }
+  // A truncated trace must not look complete: record drops as metadata.
+  if (Dropped > 0) {
+    if (!First)
+      OS << ",\n";
+    OS << "  {\"ph\": \"M\", \"name\": \"dropped_events\", \"pid\": 1, "
+          "\"tid\": 0, \"args\": {\"count\": "
+       << Dropped << "}}";
+  }
+  OS << "\n]}\n";
+}

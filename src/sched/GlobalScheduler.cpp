@@ -4,6 +4,7 @@
 
 #include "analysis/Liveness.h"
 #include "analysis/RegionSlice.h"
+#include "obs/Trace.h"
 #include "sched/Heuristics.h"
 #include "sched/ListScheduler.h"
 #include "sched/Renaming.h"
@@ -16,7 +17,8 @@ using namespace gis;
 GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
                                                  const SchedRegion &R,
                                                  Status *Err,
-                                                 const RegionSlice *Slice) {
+                                                 const RegionSlice *Slice,
+                                                 const obs::SchedSink &Sink) {
   GlobalSchedStats Stats;
   if (Err)
     *Err = Status::ok();
@@ -36,6 +38,11 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
   PDG P = PDG::build(F, R, MD);
   const DataDeps &DD = P.dataDeps();
   Stats.RegionsScheduled = 1;
+
+  auto BumpObs = [&](obs::CounterId Id) {
+    if (Sink.Counters)
+      Sink.Counters->bump(Id);
+  };
 
   // Topological position of each region node (for the Fixed/Blocked
   // disposition of non-candidate predecessors).
@@ -83,6 +90,8 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
       continue;
     BlockId ABlock = ANode.Block;
     ++Stats.BlocksScheduled;
+    obs::TraceSpan BlockSpan("block", "sched", "block",
+                             static_cast<int64_t>(ABlock));
 
     // Heuristics reflect the current placement (recomputed per block: the
     // previous block's motions changed block contents).
@@ -156,6 +165,7 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
         return true;
       if (!Opts.EnableRenaming) {
         ++Stats.VetoedSpeculations;
+        BumpObs(obs::SpecVetoLiveOut);
         return false;
       }
       // An instruction reading the register it rewrites (LU-style base
@@ -164,14 +174,17 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
       for (Reg D : Conflicts)
         if (F.instr(I).usesReg(D)) {
           ++Stats.VetoedSpeculations;
+          BumpObs(obs::SpecVetoLiveOut);
           return false;
         }
       for (Reg D : Conflicts) {
         if (!renameLocalDef(F, Home, I, D, IsLiveOut)) {
           ++Stats.VetoedSpeculations;
+          BumpObs(obs::SpecVetoLiveOut);
           return false; // earlier successful renames remain; still sound
         }
         ++Stats.Renames;
+        BumpObs(obs::SpecRenames);
         LivenessDirty = true;
       }
       return true;
@@ -206,9 +219,16 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
         ++Stats.SpeculativeMotions;
     };
 
+    EngineObs Obs;
+    Obs.Counters = Sink.Counters;
+    Obs.Decisions = Sink.Decisions;
+    Obs.Stage = "global";
+    Obs.TargetBlock = ABlock;
+    Obs.HomeBlock = [&](unsigned Node) { return R.node(CurNode[Node]).Block; };
+
     ListScheduler Engine(F, DD, MD, H, Opts.Order);
     EngineResult Sched =
-        Engine.run(Own, External, Disposition, SpecCheck, OnSchedule);
+        Engine.run(Own, External, Disposition, SpecCheck, OnSchedule, &Obs);
     if (!Sched.S.isOk())
       Fail(Sched.S.code(), Sched.S.message());
     if (!Failure.isOk())

@@ -100,9 +100,15 @@ public:
   /// the region's blocks, and -- the point of the slice -- the scheduler
   /// reads nothing outside the region, so disjoint regions of one function
   /// can be scheduled concurrently (sched/Pipeline.cpp).
+  ///
+  /// \p Sink optionally collects observability counters and per-pick
+  /// decision records (src/obs/).  The buffers belong to the caller; with
+  /// region parallelism each task passes private buffers that the wave
+  /// merges deterministically.
   GlobalSchedStats scheduleRegion(Function &F, const SchedRegion &R,
                                   Status *Err = nullptr,
-                                  const RegionSlice *Slice = nullptr);
+                                  const RegionSlice *Slice = nullptr,
+                                  const obs::SchedSink &Sink = {});
 
 private:
   MachineDescription MD;

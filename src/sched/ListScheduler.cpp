@@ -2,6 +2,7 @@
 
 #include "sched/ListScheduler.h"
 
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -25,6 +26,28 @@ struct CandState {
   bool Dropped = false;
 };
 
+/// Counter bucket for a comparator-rule win.
+obs::CounterId counterOfRule(obs::RuleId Rule) {
+  switch (Rule) {
+  case obs::RuleId::UsefulOverSpec:
+    return obs::RuleUsefulOverSpec;
+  case obs::RuleId::SpecFreq:
+    return obs::RuleSpecFreq;
+  case obs::RuleId::DelayUseful:
+    return obs::RuleDelayUseful;
+  case obs::RuleId::DelaySpec:
+    return obs::RuleDelaySpec;
+  case obs::RuleId::CritPathUseful:
+    return obs::RuleCritPathUseful;
+  case obs::RuleId::CritPathSpec:
+    return obs::RuleCritPathSpec;
+  case obs::RuleId::SourceOrder:
+  case obs::RuleId::None:
+    break;
+  }
+  return obs::RuleSourceOrder;
+}
+
 } // namespace
 
 EngineResult ListScheduler::run(
@@ -32,7 +55,8 @@ EngineResult ListScheduler::run(
     const std::vector<EngineCandidate> &External,
     const std::function<PredDisposition(unsigned)> &Disposition,
     const std::function<bool(unsigned)> &SpecCheck,
-    const std::function<void(unsigned, bool)> &OnSchedule) {
+    const std::function<void(unsigned, bool)> &OnSchedule,
+    const EngineObs *Obs) {
   EngineResult Result;
   auto Fail = [&](ErrorCode Code, std::string Msg) {
     Result.S = Status::error(Code, std::move(Msg));
@@ -153,6 +177,55 @@ EngineResult ListScheduler::run(
            F.instr(DD.ddgNode(B.DDGNode).Instr).originalOrder(); // rule 7
   };
 
+  // Attribution mirror of Better(): the first comparator (in the
+  // configured order) that separates the winner W from the runner-up L.
+  // The D and CP wins are split by the winner's class so the paper's rule
+  // pairs 3/4 and 5/6 get distinct counters.
+  auto RuleOf = [&](const CandState &W, const CandState &L) -> obs::RuleId {
+    auto DRule = [&] {
+      return W.Useful ? obs::RuleId::DelayUseful : obs::RuleId::DelaySpec;
+    };
+    auto CPRule = [&] {
+      return W.Useful ? obs::RuleId::CritPathUseful
+                      : obs::RuleId::CritPathSpec;
+    };
+    switch (Order) {
+    case PriorityOrder::Paper:
+      if (CmpClass(W, L))
+        return obs::RuleId::UsefulOverSpec;
+      if (CmpFreq(W, L))
+        return obs::RuleId::SpecFreq;
+      if (CmpD(W, L))
+        return DRule();
+      if (CmpCP(W, L))
+        return CPRule();
+      break;
+    case PriorityOrder::DelayFirst:
+      if (CmpD(W, L))
+        return DRule();
+      if (CmpClass(W, L))
+        return obs::RuleId::UsefulOverSpec;
+      if (CmpFreq(W, L))
+        return obs::RuleId::SpecFreq;
+      if (CmpCP(W, L))
+        return CPRule();
+      break;
+    case PriorityOrder::CriticalFirst:
+      if (CmpCP(W, L))
+        return CPRule();
+      if (CmpClass(W, L))
+        return obs::RuleId::UsefulOverSpec;
+      if (CmpFreq(W, L))
+        return obs::RuleId::SpecFreq;
+      if (CmpD(W, L))
+        return DRule();
+      break;
+    case PriorityOrder::SourceOrder:
+      break;
+    }
+    return obs::RuleId::SourceOrder;
+  };
+
   // Unit occupancy: busy-until per unit instance, per type.
   std::vector<std::vector<uint64_t>> UnitBusy(MD.numUnitTypes());
   for (unsigned T = 0; T != MD.numUnitTypes(); ++T)
@@ -212,9 +285,13 @@ EngineResult ListScheduler::run(
     std::sort(Ready.begin(), Ready.end(), [&](unsigned A, unsigned B) {
       return Better(Cands[A], Cands[B]);
     });
+    if (!Ready.empty())
+      obs::Tracer::instance().instant("cycle", "cycle", "cycle",
+                                      static_cast<int64_t>(Cycle), "ready",
+                                      static_cast<int64_t>(Ready.size()));
 
-    for (unsigned K : Ready) {
-      CandState &C = Cands[K];
+    for (size_t RI = 0; RI != Ready.size(); ++RI) {
+      CandState &C = Cands[Ready[RI]];
       if (C.Scheduled || C.Dropped)
         continue;
       Opcode Op = F.instr(DD.ddgNode(C.DDGNode).Instr).opcode();
@@ -232,6 +309,61 @@ EngineResult ListScheduler::run(
       if (C.Speculative && SpecCheck && !SpecCheck(C.DDGNode)) {
         C.Dropped = true;
         continue;
+      }
+
+      unsigned Instr = DD.ddgNode(C.DDGNode).Instr;
+      obs::Tracer::instance().instant("pick", "cycle", "cycle",
+                                      static_cast<int64_t>(Cycle), "instr",
+                                      static_cast<int64_t>(Instr));
+      if (Obs && (Obs->Counters || Obs->Decisions)) {
+        // The pick is about to be issued from position RI of the sorted
+        // ready list; everything still live after it is what it outranked.
+        // (Live entries *before* RI were stalled on a busy unit -- the
+        // pick did not beat them by rule, so they neither make the pick
+        // contested nor appear in its candidate list.)
+        int Runner = -1;
+        std::vector<unsigned> Beaten;
+        for (size_t RJ = RI + 1; RJ != Ready.size(); ++RJ) {
+          const CandState &L = Cands[Ready[RJ]];
+          if (L.Scheduled || L.Dropped)
+            continue;
+          if (Runner < 0)
+            Runner = static_cast<int>(Ready[RJ]);
+          if (!Obs->Decisions)
+            break;
+          Beaten.push_back(DD.ddgNode(L.DDGNode).Instr);
+        }
+        obs::RuleId Rule = obs::RuleId::None;
+        if (Runner >= 0)
+          Rule = RuleOf(C, Cands[static_cast<unsigned>(Runner)]);
+        if (obs::CounterSet *CS = Obs->Counters) {
+          CS->bump(Runner >= 0 ? obs::PicksContested
+                               : obs::PicksUncontested);
+          if (Runner >= 0)
+            CS->bump(counterOfRule(Rule));
+          if (!C.Own)
+            CS->bump(C.Useful ? obs::MotionUseful : obs::MotionSpeculative);
+        }
+        if (Obs->Decisions) {
+          obs::Decision Rec;
+          Rec.Stage = Obs->Stage;
+          Rec.TargetBlock = Obs->TargetBlock;
+          Rec.Cycle = Cycle;
+          Rec.Instr = Instr;
+          Rec.Op = std::string(opcodeName(F.instr(Instr).opcode()));
+          Rec.Kind = C.Own ? obs::MotionKind::Own
+                           : (C.Useful ? obs::MotionKind::Useful
+                                       : obs::MotionKind::Speculative);
+          Rec.FromBlock =
+              C.Own ? Obs->TargetBlock
+                    : (Obs->HomeBlock ? Obs->HomeBlock(C.DDGNode) : 0);
+          Rec.Rule = Rule;
+          Rec.Candidates.reserve(1 + Beaten.size());
+          Rec.Candidates.push_back(Instr);
+          Rec.Candidates.insert(Rec.Candidates.end(), Beaten.begin(),
+                                Beaten.end());
+          Obs->Decisions->push_back(std::move(Rec));
+        }
       }
 
       UnitBusy[Type][static_cast<unsigned>(Unit)] =

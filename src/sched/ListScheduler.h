@@ -27,6 +27,8 @@
 
 #include "analysis/DataDeps.h"
 #include "machine/MachineDescription.h"
+#include "obs/Counters.h"
+#include "obs/Decision.h"
 #include "sched/Heuristics.h"
 #include "support/Status.h"
 
@@ -64,6 +66,21 @@ enum class PredDisposition {
   Fixed,   ///< already placed before the target block; satisfied at cycle 0
   Blocked, ///< placed at or after the target block; the dependent candidate
            ///< can never be scheduled in this pass
+};
+
+/// Observation context for one engine run (src/obs/).  Counters and
+/// decision records are appended to the caller's buffers; either pointer
+/// may be null to observe only the other aspect.  Observation never feeds
+/// back into scheduling: with identical inputs the engine emits the same
+/// schedule whether or not it is observed (tests/trace_test.cpp).
+struct EngineObs {
+  obs::CounterSet *Counters = nullptr;
+  std::vector<obs::Decision> *Decisions = nullptr;
+  const char *Stage = "global"; ///< Decision::Stage tag
+  BlockId TargetBlock = 0;      ///< block being scheduled
+  /// Maps a DDG node to the id of its current home block, for the
+  /// FromBlock field of external picks.  May be null when Decisions is.
+  std::function<BlockId(unsigned)> HomeBlock;
 };
 
 /// Result of scheduling one target block.
@@ -106,12 +123,16 @@ public:
   ///                    paper moves picked instructions immediately, so
   ///                    live-on-exit information can be kept up to date);
   ///                    the bool argument is true for external candidates.
+  /// \param Obs         optional observation context; decisions are
+  ///                    recorded before OnSchedule fires, so HomeBlock
+  ///                    sees the pre-move placement.
   EngineResult
   run(const std::vector<unsigned> &Own,
       const std::vector<EngineCandidate> &External,
       const std::function<PredDisposition(unsigned)> &Disposition,
       const std::function<bool(unsigned)> &SpecCheck,
-      const std::function<void(unsigned, bool)> &OnSchedule = nullptr);
+      const std::function<void(unsigned, bool)> &OnSchedule = nullptr,
+      const EngineObs *Obs = nullptr);
 
 private:
   const Function &F;

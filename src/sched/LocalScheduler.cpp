@@ -4,8 +4,11 @@
 
 #include "analysis/LoopInfo.h"
 #include "analysis/Region.h"
+#include "obs/Trace.h"
 #include "sched/Heuristics.h"
 #include "sched/ListScheduler.h"
+
+#include <iterator>
 
 using namespace gis;
 
@@ -14,11 +17,13 @@ namespace {
 /// Schedules every real block of one region with the block's own
 /// instructions as the only candidates.
 void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
-                          const SchedRegion &R, LocalSchedStats &Stats);
+                          const SchedRegion &R, LocalSchedStats &Stats,
+                          const obs::SchedSink &Sink);
 
 } // namespace
 
-LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD) {
+LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
+                                   const obs::SchedSink &Sink) {
   LocalSchedStats Stats;
   F.recomputeCFG();
   LoopInfo LI = LoopInfo::compute(F);
@@ -28,7 +33,8 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD) {
   // local scheduler only uses intra-block structure).
   if (!LI.isReducible()) {
     for (BlockId B : F.layout())
-      scheduleRegionBlocks(F, MD, SchedRegion::buildSingleBlock(F, B), Stats);
+      scheduleRegionBlocks(F, MD, SchedRegion::buildSingleBlock(F, B), Stats,
+                           Sink);
     return Stats;
   }
 
@@ -42,7 +48,7 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD) {
 
   for (int RegionId : RegionIds) {
     SchedRegion R = SchedRegion::build(F, LI, RegionId);
-    scheduleRegionBlocks(F, MD, R, Stats);
+    scheduleRegionBlocks(F, MD, R, Stats, Sink);
   }
   return Stats;
 }
@@ -50,7 +56,8 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD) {
 namespace {
 
 void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
-                        const SchedRegion &R, LocalSchedStats &Stats) {
+                          const SchedRegion &R, LocalSchedStats &Stats,
+                          const obs::SchedSink &Sink) {
   DataDeps DD = DataDeps::compute(F, R, MD);
 
   std::vector<unsigned> CurNode(DD.numNodes());
@@ -68,6 +75,8 @@ void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
       continue;
     BasicBlock &BB = F.block(ANode.Block);
     ++Stats.BlocksScheduled;
+    obs::TraceSpan BlockSpan("block", "sched", "block",
+                             static_cast<int64_t>(ANode.Block));
 
     std::vector<unsigned> Own;
     bool AllInDDG = true;
@@ -85,11 +94,27 @@ void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
       continue;
     }
 
-    EngineResult Sched = Engine.run(Own, {}, AllFixed, NoSpec);
+    // Per-block staging buffers: a failed block keeps its original order,
+    // so its picks must not leak into the log or the counters.
+    obs::CounterSet BlockCtrs;
+    std::vector<obs::Decision> BlockDecisions;
+    EngineObs Obs;
+    Obs.Counters = Sink.Counters ? &BlockCtrs : nullptr;
+    Obs.Decisions = Sink.Decisions ? &BlockDecisions : nullptr;
+    Obs.Stage = "local";
+    Obs.TargetBlock = ANode.Block;
+
+    EngineResult Sched = Engine.run(Own, {}, AllFixed, NoSpec, nullptr, &Obs);
     if (!Sched.S.isOk() || Sched.Order.size() != Own.size()) {
       ++Stats.BlocksFailed;
       continue;
     }
+    if (Sink.Counters)
+      *Sink.Counters += BlockCtrs;
+    if (Sink.Decisions)
+      Sink.Decisions->insert(Sink.Decisions->end(),
+                             std::make_move_iterator(BlockDecisions.begin()),
+                             std::make_move_iterator(BlockDecisions.end()));
 
     std::vector<InstrId> NewContents;
     NewContents.reserve(Sched.Order.size());

@@ -19,6 +19,7 @@
 
 #include "ir/Function.h"
 #include "machine/MachineDescription.h"
+#include "obs/Decision.h"
 
 namespace gis {
 
@@ -34,7 +35,10 @@ struct LocalSchedStats {
 
 /// Reorders the instructions of every basic block of \p F for the machine
 /// \p MD, respecting all data dependences.  The CFG never changes.
-LocalSchedStats scheduleLocal(Function &F, const MachineDescription &MD);
+/// \p Sink optionally collects observability counters and decision records
+/// (src/obs/); local picks carry stage tag "local".
+LocalSchedStats scheduleLocal(Function &F, const MachineDescription &MD,
+                              const obs::SchedSink &Sink = {});
 
 } // namespace gis
 

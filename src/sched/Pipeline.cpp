@@ -7,6 +7,7 @@
 #include "interp/DifferentialOracle.h"
 #include "ir/Checkpoint.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "sched/Duplication.h"
 #include "sched/PreRenaming.h"
 #include "sched/Rotate.h"
@@ -71,6 +72,8 @@ struct TxContext {
 bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
                     const std::function<Status(PipelineStats &)> &Body,
                     bool RegionScoped) {
+  obs::TraceSpan StageSpan(Stage, "stage", "loop",
+                           static_cast<int64_t>(LoopIdx));
   if (!Ctx.Opts.EnableTransactions) {
     PipelineStats Delta;
     Status S = Body(Delta);
@@ -119,6 +122,10 @@ bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
     ++Ctx.Stats.RegionsRolledBack;
   else
     ++Ctx.Stats.TransformsRolledBack;
+  if (Ctx.Opts.CollectCounters)
+    Ctx.Stats.Counters.bump(obs::Rollbacks);
+  obs::Tracer::instance().instant("rollback", "tx", "loop",
+                                  static_cast<int64_t>(LoopIdx));
   reportDiagnostic(Ctx.Stats.Diags, S, Ctx.F.name(), Stage, LoopIdx);
   return false;
 }
@@ -205,6 +212,11 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
   if (Tasks.empty())
     return;
 
+  const unsigned WaveNo = Ctx.Stats.RegionWaves;
+  obs::TraceSpan WaveSpan("wave", "region", "wave",
+                          static_cast<int64_t>(WaveNo), "tasks",
+                          static_cast<int64_t>(Tasks.size()));
+
   const Function Base = Ctx.F; // the wave's fork point
   GlobalSchedOptions GOpts;
   GOpts.Level = Ctx.Opts.Level;
@@ -214,13 +226,21 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
   GOpts.Profile = Ctx.Opts.Profile;
 
   auto RunTask = [&](RegionTask &T) {
+    obs::TraceSpan RegionSpan("region", "region", "loop",
+                              static_cast<int64_t>(T.LoopIdx), "wave",
+                              static_cast<int64_t>(WaveNo));
     auto Start = std::chrono::steady_clock::now();
     T.Priv = Base;
     GlobalScheduler GS(Ctx.MD, GOpts);
     Status S;
+    obs::SchedSink Sink;
+    if (Ctx.Opts.CollectCounters)
+      Sink.Counters = &T.Delta.Counters;
+    if (Ctx.Opts.CollectDecisions)
+      Sink.Decisions = &T.Delta.Decisions;
     T.Delta.Global += GS.scheduleRegion(T.Priv, T.Slice.region(),
                                         Transactional ? &S : nullptr,
-                                        &T.Slice);
+                                        &T.Slice, Sink);
     if (Transactional) {
       if (!S.isOk())
         ++T.EngFailures;
@@ -292,11 +312,21 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
     Ctx.Stats.RegionTimes.push_back({T.LoopIdx, Wave, T.Seconds});
     if (!T.S.isOk()) {
       // Region-local rollback: drop the private copy; siblings and the
-      // master function are untouched by construction.
+      // master function are untouched by construction.  The task's
+      // counters and decisions are dropped with it: observability reports
+      // committed work only.
       ++Ctx.Stats.RegionsRolledBack;
+      if (Ctx.Opts.CollectCounters)
+        Ctx.Stats.Counters.bump(obs::Rollbacks);
+      obs::Tracer::instance().instant("rollback", "tx", "loop",
+                                      static_cast<int64_t>(T.LoopIdx));
       reportDiagnostic(Ctx.Stats.Diags, T.S, Ctx.F.name(), "region",
                        T.LoopIdx);
       continue;
+    }
+    for (obs::Decision &D : T.Delta.Decisions) {
+      D.LoopIdx = T.LoopIdx;
+      D.Wave = Wave;
     }
     Ctx.Stats += T.Delta;
     // Commit: copy the region's blocks into the master, renumbering the
@@ -328,6 +358,10 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                                     const PipelineOptions &Opts) {
   PipelineStats Stats;
   TxContext Ctx{F, MD, Opts, Stats};
+  obs::Tracer &Tr = obs::Tracer::instance();
+  obs::TraceSpan PipeSpan("pipeline", "pipeline", nullptr, 0, nullptr, 0,
+                          Tr.enabled() ? std::string(F.name())
+                                       : std::string());
   F.recomputeCFG();
   F.renumberOriginalOrder();
 
@@ -418,6 +452,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     // wave.
     LI = LoopInfo::compute(F);
     {
+      obs::TraceSpan Pass1Span("pass1", "stage");
       std::vector<int> Inner;
       for (unsigned L : LI.innermostFirstOrder())
         if (isInnerLoop(LI, L))
@@ -480,6 +515,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     // their wave committed.
     LI = LoopInfo::compute(F);
     {
+      obs::TraceSpan Pass2Span("pass2", "stage");
       std::vector<unsigned> Heights = loopHeights(LI);
       std::map<unsigned, std::vector<int>> Waves; // height -> loops
       for (unsigned L : LI.innermostFirstOrder()) {
@@ -501,8 +537,10 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
         if (LI.loop(L).Parent < 0 && !LI.loop(L).Children.empty())
           ScheduleTop = false; // top level sits above two loop levels
     }
-    if (ScheduleTop)
+    if (ScheduleTop) {
+      obs::TraceSpan TopSpan("pass2", "stage");
       scheduleRegionWave(Ctx, LI, {-1}, PoolFor);
+    }
 
     // Future-work extension: join replication (Definition 6) over the
     // inner regions, feeding the final basic-block pass extra slack.
@@ -524,6 +562,9 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
             [&](PipelineStats &Delta) {
               Delta.DuplicatedInstrs +=
                   duplicateIntoPreds(F, R, DOpts).DuplicatedInstrs;
+              if (Opts.CollectCounters)
+                Delta.Counters.bump(obs::MotionDuplication,
+                                    Delta.DuplicatedInstrs);
               return Status::ok();
             },
             /*RegionScoped=*/true);
@@ -537,13 +578,21 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     runTransaction(
         Ctx, "local", -1,
         [&](PipelineStats &Delta) {
-          Delta.Local = scheduleLocal(F, MD);
+          obs::SchedSink Sink;
+          if (Opts.CollectCounters)
+            Sink.Counters = &Delta.Counters;
+          if (Opts.CollectDecisions)
+            Sink.Decisions = &Delta.Decisions;
+          Delta.Local = scheduleLocal(F, MD, Sink);
           return Status::ok();
         },
         /*RegionScoped=*/false);
 
   F.recomputeCFG();
   F.renumberOriginalOrder();
+  for (obs::Decision &D : Stats.Decisions)
+    if (D.Fn.empty())
+      D.Fn = F.name();
   return Stats;
 }
 

@@ -49,6 +49,8 @@
 
 #include "ir/Module.h"
 #include "machine/MachineDescription.h"
+#include "obs/Counters.h"
+#include "obs/Decision.h"
 #include "sched/GlobalScheduler.h"
 #include "sched/LocalScheduler.h"
 #include "sched/Profile.h"
@@ -125,6 +127,21 @@ struct PipelineOptions {
   const Module *OracleModule = nullptr;
   /// Interpreter step budget per oracle run.
   uint64_t OracleMaxSteps = 500'000;
+
+  //===--------------------------------------------------------------------===
+  // Observability (src/obs/; gisc --stats-json / --explain)
+  //===--------------------------------------------------------------------===
+
+  /// Collect the obs counter registry (PipelineStats::Counters): motion
+  /// classes, comparator-rule wins, guard rejections, rollbacks.  Cheap
+  /// (plain array increments on buffers already private to each region
+  /// task), so on by default; bench_pipeline_ablation measures the cost of
+  /// this flag and the issue budget is < 2%.
+  bool CollectCounters = true;
+  /// Record one obs::Decision per engine pick (PipelineStats::Decisions),
+  /// the data behind `gisc --explain`.  Allocates per pick; off by
+  /// default.
+  bool CollectDecisions = false;
 };
 
 /// Wall-clock of one region-scheduling task, for --stats (-1: the
@@ -174,6 +191,16 @@ struct PipelineStats {
   /// One record per rolled-back or degraded transform.
   std::vector<Diagnostic> Diags;
 
+  /// Observability counter registry (PipelineOptions::CollectCounters).
+  /// Collected into per-task buffers and merged along the same
+  /// deterministic commit paths as the rest of this struct, so every value
+  /// is exact -- identical for every --jobs/--region-jobs width, and
+  /// rolled-back work never counts.
+  obs::CounterSet Counters;
+  /// Per-pick decision log (PipelineOptions::CollectDecisions), in
+  /// deterministic commit order; rendered by `gisc --explain`.
+  std::vector<obs::Decision> Decisions;
+
   PipelineStats &operator+=(const PipelineStats &RHS) {
     Global += RHS.Global;
     Local.BlocksScheduled += RHS.Local.BlocksScheduled;
@@ -196,6 +223,9 @@ struct PipelineStats {
     EngineFailures += RHS.EngineFailures;
     FaultsInjected += RHS.FaultsInjected;
     Diags.insert(Diags.end(), RHS.Diags.begin(), RHS.Diags.end());
+    Counters += RHS.Counters;
+    Decisions.insert(Decisions.end(), RHS.Decisions.begin(),
+                     RHS.Decisions.end());
     return *this;
   }
 };
