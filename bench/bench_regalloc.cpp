@@ -1,0 +1,188 @@
+//===- bench/bench_regalloc.cpp - Experiment E10: finite register files ----===//
+//
+// The cost of finiteness: the paper schedules over unbounded symbolic
+// registers (Section 2) and lets the XL back end map the result onto the
+// RS/6000's 32 GPRs / 32 FPRs / 8 CRs.  This experiment runs that back
+// end (src/regalloc/: linear scan, spill-everywhere, post-allocation
+// rescheduling) and sweeps the register-file size against the speculation
+// depth: at the real sizes allocation must be free (zero spills, cycles
+// identical to the symbolic schedule), and as the file shrinks the spill
+// code claws back the scheduler's winnings -- monotonically more cycles
+// at 16 and 8 GPRs, and faster at deeper speculation, which lengthens
+// live ranges.
+//
+// The table is merged into BENCH_engine.json (key "regalloc") so the
+// trajectory is machine-trackable across PRs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gis;
+using namespace gis::bench;
+
+namespace {
+
+constexpr unsigned GprSizes[] = {32, 16, 8};
+
+struct Depth {
+  const char *Name;
+  PipelineOptions Opts;
+};
+
+std::vector<Depth> depths() {
+  std::vector<Depth> D;
+  D.push_back({"useful", usefulOptions()});
+  D.push_back({"spec-1", speculativeOptions()});
+  PipelineOptions Deep = speculativeOptions();
+  Deep.MaxSpecDepth = 3;
+  D.push_back({"spec-3", Deep});
+  return D;
+}
+
+struct Cell {
+  uint64_t Cycles = 0;
+  unsigned Spilled = 0;     ///< intervals spilled
+  unsigned SpillInstrs = 0; ///< stores + reloads emitted
+  unsigned Failures = 0;    ///< allocations rolled back
+};
+
+/// Compile + schedule + allocate one workload at \p Gprs registers, then
+/// run it and simulate cycles.
+Cell measure(const Workload &W, unsigned Gprs, const PipelineOptions &Base) {
+  MachineDescription MD = MachineDescription::rs6k();
+  MD.setNumRegs(RegClass::GPR, Gprs);
+  PipelineOptions Opts = Base;
+  Opts.AllocateRegisters = true;
+  auto M = compileMiniCOrDie(W.Source);
+  PipelineStats Stats = scheduleModule(*M, MD, Opts);
+  Cell C;
+  C.Cycles = runWorkloadCycles(W, *M, MD);
+  C.Spilled = Stats.RegAlloc.IntervalsSpilled;
+  C.SpillInstrs = Stats.RegAlloc.SpillStores + Stats.RegAlloc.SpillReloads;
+  C.Failures = Stats.RegAllocFailures;
+  return C;
+}
+
+void BM_ScheduleAndAllocate(benchmark::State &State) {
+  const Workload W = specLikeWorkloads()[static_cast<size_t>(State.range(0))];
+  MachineDescription MD = MachineDescription::rs6k();
+  MD.setNumRegs(RegClass::GPR, 16);
+  PipelineOptions Opts = speculativeOptions();
+  Opts.AllocateRegisters = true;
+  for (auto _ : State) {
+    auto M = buildWorkload(W, MD, Opts);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetLabel(W.Name);
+}
+BENCHMARK(BM_ScheduleAndAllocate)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void printPaperTable() {
+  std::vector<Depth> Ds = depths();
+  std::vector<Workload> Ws = specLikeWorkloads();
+
+  std::printf("\nE10: register-file size x speculation depth "
+              "(simulated cycles; spill instrs)\n");
+  rule(94);
+  std::printf("%-10s%8s", "CONFIG", "GPRS");
+  for (const Workload &W : Ws)
+    std::printf("%19s", W.Name.c_str());
+  std::printf("\n");
+  rule(94);
+
+  // JSON rows, one per (depth, gprs): totals across the workloads.
+  std::string Json;
+  bool Monotone = true;
+  for (const Depth &D : Ds) {
+    uint64_t Prev = 0;
+    for (unsigned Gprs : GprSizes) {
+      std::printf("%-10s%8u", D.Name, Gprs);
+      uint64_t TotalCycles = 0;
+      unsigned TotalSpills = 0, TotalFailures = 0;
+      for (const Workload &W : Ws) {
+        Cell C = measure(W, Gprs, D.Opts);
+        TotalCycles += C.Cycles;
+        TotalSpills += C.SpillInstrs;
+        TotalFailures += C.Failures;
+        std::printf("%11llu (%4u)",
+                    static_cast<unsigned long long>(C.Cycles),
+                    C.SpillInstrs);
+      }
+      std::printf("%s\n", TotalFailures ? "  [rollbacks!]" : "");
+      if (Prev && TotalCycles < Prev)
+        Monotone = false;
+      Prev = TotalCycles;
+      char Row[256];
+      std::snprintf(Row, sizeof(Row),
+                    "    {\"depth\": \"%s\", \"gprs\": %u, \"cycles\": "
+                    "%llu, \"spill_instrs\": %u, \"failures\": %u},\n",
+                    D.Name, Gprs,
+                    static_cast<unsigned long long>(TotalCycles),
+                    TotalSpills, TotalFailures);
+      Json += Row;
+    }
+  }
+  rule(94);
+  std::printf("32 GPRs must spill nothing (cycles == the symbolic "
+              "schedule); shrinking the file\nmust cost cycles "
+              "monotonically.  monotone: %s\n",
+              Monotone ? "yes" : "NO -- investigate");
+  if (!Json.empty())
+    Json.erase(Json.size() - 2, 1); // trailing comma of the last row
+
+  // Merge into BENCH_engine.json (same protocol as the observability
+  // section): strip the closing brace, drop a stale "regalloc" section,
+  // append ours.
+  std::string Existing;
+  if (std::FILE *In = std::fopen("BENCH_engine.json", "r")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+      Existing.append(Buf, N);
+    std::fclose(In);
+    while (!Existing.empty() &&
+           (Existing.back() == '\n' || Existing.back() == ' ' ||
+            Existing.back() == '}'))
+      Existing.pop_back();
+  }
+  if (size_t P = Existing.rfind("\n  \"regalloc\""); P != std::string::npos)
+    Existing.resize(P);
+  while (!Existing.empty() &&
+         (Existing.back() == ',' || Existing.back() == '\n' ||
+          Existing.back() == ' '))
+    Existing.pop_back();
+  if (Existing == "{")
+    Existing.clear();
+  std::FILE *Out = std::fopen("BENCH_engine.json", "w");
+  if (!Out) {
+    std::fprintf(stderr,
+                 "bench_regalloc: cannot write BENCH_engine.json\n");
+    return;
+  }
+  std::fputs(Existing.empty() ? "{" : Existing.c_str(), Out);
+  std::fprintf(Out,
+               "%s\n  \"regalloc\": {\n    \"monotone\": %s,\n"
+               "    \"rows\": [\n%s    ]\n  }\n}\n",
+               Existing.empty() ? "" : ",", Monotone ? "true" : "false",
+               Json.c_str());
+  std::fclose(Out);
+  std::printf("wrote E10 register-file sweep to BENCH_engine.json\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printPaperTable();
+  return 0;
+}

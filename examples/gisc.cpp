@@ -35,6 +35,17 @@
 //   machine:
 //     --machine rs6k             (default)
 //     --machine FXxFPxBR         e.g. --machine 4x1x2
+//     --regs-gpr N               override the register-file sizes of the
+//     --regs-fpr N               selected machine (defaults: 32 GPR,
+//     --regs-cr N                32 FPR, 8 CR)
+//     --list-machines            list built-in machines (unit counts and
+//                                register files) and exit
+//   register allocation (src/regalloc/):
+//     --regalloc                 map onto the machine's finite register
+//                                files after scheduling (spill code where
+//                                pressure exceeds them) and reschedule
+//                                each block
+//     --no-postalloc-resched     skip the post-allocation local pass
 //   observability (src/obs/):
 //     --stats-json FILE          machine-readable statistics + the full
 //                                obs counter registry as JSON
@@ -92,6 +103,10 @@ struct CliOptions {
   bool InputIsAsm = false;
   PipelineOptions Pipeline;
   MachineDescription Machine = MachineDescription::rs6k();
+  /// --regs-gpr/--regs-fpr/--regs-cr (-1: keep the machine's default);
+  /// applied after --machine so the order of the flags does not matter.
+  std::array<int, 3> RegsOverride = {-1, -1, -1};
+  bool ListMachines = false;
   bool DumpIRBefore = false;
   bool DumpIR = false;
   bool DumpCFG = false;
@@ -189,6 +204,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       const char *V = Next();
       if (!V || !parseMachine(V, Cli.Machine))
         return false;
+    } else if (A == "--regs-gpr" || A == "--regs-fpr" || A == "--regs-cr") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      int N = std::atoi(V);
+      if (N < 0)
+        return false;
+      Cli.RegsOverride[A == "--regs-gpr" ? 0 : A == "--regs-fpr" ? 1 : 2] = N;
+    } else if (A == "--list-machines") {
+      Cli.ListMachines = true;
+    } else if (A == "--regalloc") {
+      Cli.Pipeline.AllocateRegisters = true;
+    } else if (A == "--no-postalloc-resched") {
+      Cli.Pipeline.RescheduleAfterAlloc = false;
     } else if (A == "--dump-ir-before") {
       Cli.DumpIRBefore = true;
     } else if (A == "--dump-ir") {
@@ -259,7 +288,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.InputPaths.push_back(A);
     }
   }
-  return !Cli.InputPaths.empty() || !Cli.BatchFiles.empty();
+  for (unsigned C = 0; C != 3; ++C)
+    if (Cli.RegsOverride[C] >= 0)
+      Cli.Machine.setNumRegs(static_cast<RegClass>(C),
+                             static_cast<unsigned>(Cli.RegsOverride[C]));
+  return Cli.ListMachines || !Cli.InputPaths.empty() ||
+         !Cli.BatchFiles.empty();
 }
 
 /// Appends the paths listed in manifest \p Path (one per line; blank lines
@@ -369,6 +403,44 @@ void printCounters(const obs::CounterSet &C) {
   }
 }
 
+/// One line of `--list-machines`: name, unit types with counts, and the
+/// register files the allocator targets.
+void printMachineLine(const MachineDescription &MD) {
+  std::cout << "  " << MD.name() << ": units";
+  for (unsigned T = 0; T != MD.numUnitTypes(); ++T)
+    std::cout << (T ? ", " : " ") << MD.unitType(T).Count << "x"
+              << MD.unitType(T).Name;
+  std::cout << "; registers " << MD.numRegs(RegClass::GPR) << " GPR, "
+            << MD.numRegs(RegClass::FPR) << " FPR, "
+            << MD.numRegs(RegClass::CR) << " CR\n";
+}
+
+int listMachines() {
+  std::cout << "built-in machines (--machine):\n";
+  printMachineLine(MachineDescription::rs6k());
+  printMachineLine(MachineDescription::superscalar(2, 1, 1));
+  printMachineLine(MachineDescription::superscalar(4, 2, 2));
+  std::cout << "  (any FXxFPxBR triple is accepted, e.g. --machine 6x2x2;\n"
+               "   --regs-gpr/--regs-fpr/--regs-cr override the register "
+               "files)\n";
+  return 0;
+}
+
+/// The `--stats` lines shared by the single-file and engine paths:
+/// scheduled-code pressure peaks and, with --regalloc, allocation totals.
+void printPressureAndRegAlloc(const PipelineStats &Stats, bool Allocated) {
+  std::cout << "  peak pressure GPR/FPR/CR: " << Stats.PressurePeak[0] << "/"
+            << Stats.PressurePeak[1] << "/" << Stats.PressurePeak[2] << "\n";
+  if (!Allocated)
+    return;
+  std::cout << "  regalloc: " << Stats.RegAlloc.IntervalsBuilt
+            << " intervals, " << Stats.RegAlloc.IntervalsSpilled
+            << " spilled (" << Stats.RegAlloc.SpillSlots << " slots, "
+            << Stats.RegAlloc.SpillStores << " stores, "
+            << Stats.RegAlloc.SpillReloads << " reloads), "
+            << Stats.RegAllocFailures << " failures\n";
+}
+
 } // namespace
 
 /// The engine path: several inputs and/or a worker pool, deterministic
@@ -432,6 +504,8 @@ int runEngineMode(const CliOptions &Cli,
                 << static_cast<long>(R.CompileSeconds * 1e6) << "us\n";
     for (const Diagnostic &D : Report.Aggregate.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
+    printPressureAndRegAlloc(Report.Aggregate,
+                             Cli.Pipeline.AllocateRegisters);
     if (Cli.Pipeline.CollectCounters)
       printCounters(Report.Aggregate.Counters);
   }
@@ -454,6 +528,8 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+  if (Cli.ListMachines)
+    return listMachines();
 
   std::vector<std::string> Paths = Cli.InputPaths;
   for (const std::string &Manifest : Cli.BatchFiles)
@@ -549,6 +625,7 @@ int main(int argc, char **argv) {
                 << ": " << static_cast<long>(RT.Seconds * 1e6) << "us\n";
     for (const Diagnostic &D : Stats.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
+    printPressureAndRegAlloc(Stats, Cli.Pipeline.AllocateRegisters);
     if (Cli.Pipeline.CollectCounters)
       printCounters(Stats.Counters);
     for (const auto &F : M->functions()) {

@@ -32,7 +32,7 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): parallel + obs suites =="
+echo "== sanitized build (thread): parallel + obs + regalloc suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "parallel" label covers gis_parallel_tests: the batch engine, the
 # thread pool / cache / hashing units, and the region-parallel scheduling
@@ -40,7 +40,10 @@ build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # covers gis_obs_tests: the event tracer records from region worker
 # threads and the counter/decision buffers merge across them, so the
 # observability suite runs under TSan too (it is already part of the full
-# ASan run above).
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs'
+# ASan run above).  The "regalloc" label covers gis_regalloc_tests: the
+# allocator rewrites functions that engine worker threads compile
+# concurrently and its cache test shares one ScheduleCache across
+# engines, so it runs under TSan as well.
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc'
 
 echo "OK: all suites passed"

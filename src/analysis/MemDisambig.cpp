@@ -102,7 +102,7 @@ MemDisambiguator::resolveReg(Reg Base, InstrId User, unsigned Depth) const {
 std::optional<MemDisambiguator::Address>
 MemDisambiguator::resolveAddress(InstrId Access) const {
   const Instruction &I = F.instr(Access);
-  if (!I.touchesMemory() || I.isCall())
+  if (!I.touchesMemory() || I.isCall() || I.isSpillCode())
     return std::nullopt;
   auto A = resolveReg(I.memBase(), Access, 0);
   if (!A)
@@ -118,6 +118,19 @@ bool MemDisambiguator::provablyDisjoint(InstrId A, InstrId B) const {
     return false;
   if (!IA.touchesMemory() || !IB.touchesMemory())
     return true; // nothing to conflict on
+
+  // Spill slots (regalloc spill code) live outside user memory: a spill op
+  // is disjoint from every ordinary load/store, and two spill ops conflict
+  // only when they address the same slot of the same class.
+  if (IA.isSpillCode() || IB.isSpillCode()) {
+    if (!IA.isSpillCode() || !IB.isSpillCode())
+      return true;
+    bool FloatA = IA.opClass() == OpClass::FloatLoad ||
+                  IA.opClass() == OpClass::FloatStore;
+    bool FloatB = IB.opClass() == OpClass::FloatLoad ||
+                  IB.opClass() == OpClass::FloatStore;
+    return FloatA != FloatB || IA.imm() != IB.imm();
+  }
 
   // Rule 1: fully resolved addresses with a common root.
   auto AddrA = resolveAddress(A);

@@ -10,6 +10,11 @@ using namespace gis;
 uint64_t gis::fingerprintMachine(const MachineDescription &MD) {
   HashBuilder H;
   H.addString(MD.name());
+  // Register-file sizes: an allocating run's output depends on them, so
+  // two machines differing only in --regs-gpr must never share entries
+  // (asserted by tests/regalloc_test.cpp).
+  for (RegClass C : {RegClass::GPR, RegClass::FPR, RegClass::CR})
+    H.addU32(MD.numRegs(C));
   H.addU32(MD.numUnitTypes());
   for (unsigned T = 0; T != MD.numUnitTypes(); ++T) {
     const UnitType &U = MD.unitType(T);
@@ -64,6 +69,10 @@ uint64_t gis::fingerprintOptions(const PipelineOptions &Opts) {
   // (and vice versa).
   H.addBool(Opts.CollectCounters);
   H.addBool(Opts.CollectDecisions);
+  // Register allocation changes the emitted code outright; a hit must
+  // never replay a schedule compiled under different allocator settings.
+  H.addBool(Opts.AllocateRegisters);
+  H.addBool(Opts.RescheduleAfterAlloc);
   // RegionJobs is deliberately NOT part of the fingerprint: region-parallel
   // scheduling is bit-identical to sequential (see sched/Pipeline.h), so
   // cache entries are shared across --region-jobs values.  Asserted by

@@ -40,6 +40,13 @@ void Interpreter::execFrame(const Function &F, IntFrame &IntRegs,
     return It == FpRegs.end() ? 0.0 : It->second;
   };
 
+  // Spill slots (regalloc spill code) are compiler-private, per-activation
+  // storage: they never alias user memory, so the differential oracle's
+  // final-heap comparison is unaffected by allocation, and they hold
+  // doubles bit-exactly where STF would truncate through int64_t.
+  std::unordered_map<int64_t, int64_t> IntSlots;
+  std::unordered_map<int64_t, double> FpSlots;
+
   BlockId Cur = F.entry();
   size_t Pos = 0;
   if (&F == EntryFn)
@@ -269,6 +276,22 @@ void Interpreter::execFrame(const Function &F, IntFrame &IntRegs,
         Result.ReturnValue = GetReg(I.uses()[0]);
       }
       return;
+    case Opcode::SPILL:
+      IntSlots[I.imm()] = GetReg(I.uses()[0]);
+      break;
+    case Opcode::RELOAD: {
+      auto It = IntSlots.find(I.imm());
+      SetReg(I.defs()[0], It == IntSlots.end() ? 0 : It->second);
+      break;
+    }
+    case Opcode::SPILLF:
+      FpSlots[I.imm()] = GetF(I.uses()[0]);
+      break;
+    case Opcode::RELOADF: {
+      auto It = FpSlots.find(I.imm());
+      SetF(I.defs()[0], It == FpSlots.end() ? 0.0 : It->second);
+      break;
+    }
     case Opcode::NOP:
       break;
     }

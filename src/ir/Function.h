@@ -42,6 +42,14 @@ public:
     noteReg(R);
   }
 
+  /// Rewrites parameter \p K to live in register \p R (register allocation
+  /// moves incoming values to their assigned physical registers).
+  void setParam(size_t K, Reg R) {
+    GIS_ASSERT(K < ParamRegs.size(), "parameter index out of range");
+    ParamRegs[K] = R;
+    noteReg(R);
+  }
+
   //===--------------------------------------------------------------------===
   // Registers
   //===--------------------------------------------------------------------===

@@ -45,6 +45,8 @@ constexpr uint32_t InvalidId = ~uint32_t(0);
 ///  - CALL:              Callee = name, Uses = argument registers,
 ///                       Defs = optional result register.
 ///  - RET:               Uses = optional value register.
+///  - SPILL/SPILLF:      Uses = [value], Imm = spill-slot id (no base reg).
+///  - RELOAD/RELOADF:    Defs = [dest],  Imm = spill-slot id (no base reg).
 class Instruction {
 public:
   Instruction() = default;
@@ -61,6 +63,7 @@ public:
   bool isLoad() const { return info().IsLoad; }
   bool isStore() const { return info().IsStore; }
   bool isCall() const { return Op == Opcode::CALL; }
+  bool isSpillCode() const { return isSpillOpcode(Op); }
 
   /// True if the instruction may never be moved beyond its basic block
   /// (calls, branches, returns); paper Section 5.1.
@@ -90,9 +93,11 @@ public:
   const std::string &comment() const { return Comment; }
   void setComment(std::string C) { Comment = std::move(C); }
 
-  /// The base register of a memory access (the last use operand).
+  /// The base register of a memory access (the last use operand).  Spill
+  /// code has no base register: slots are addressed by the immediate alone.
   Reg memBase() const {
-    GIS_ASSERT(touchesMemory() && !isCall() && !UseRegs.empty(),
+    GIS_ASSERT(touchesMemory() && !isCall() && !isSpillCode() &&
+                   !UseRegs.empty(),
                "memBase on a non-memory instruction");
     return UseRegs.back();
   }

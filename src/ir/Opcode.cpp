@@ -77,6 +77,22 @@ const std::array<OpcodeInfo, NumOpcodes> InfoTable = {{
              false, false, /*NeverCrossBlock=*/true, /*NeverSpeculate=*/true),
     makeInfo("RET", OpClass::Branch, false, /*IsTerminator=*/true, false,
              false, false, /*NeverCrossBlock=*/true, /*NeverSpeculate=*/true),
+    // Spill code is emitted after scheduling; the post-allocation local
+    // rescheduling pass may reorder it within a block (slot dependences are
+    // tracked by MemDisambig), but it must never move across blocks or be
+    // speculated: a slot is live exactly between its SPILL and RELOADs.
+    makeInfo("SPILL", OpClass::Store, false, false, /*TouchesMemory=*/true,
+             /*IsLoad=*/false, /*IsStore=*/true, /*NeverCrossBlock=*/true,
+             /*NeverSpeculate=*/true),
+    makeInfo("RELOAD", OpClass::Load, false, false, /*TouchesMemory=*/true,
+             /*IsLoad=*/true, /*IsStore=*/false, /*NeverCrossBlock=*/true,
+             /*NeverSpeculate=*/true),
+    makeInfo("SPILLF", OpClass::FloatStore, false, false,
+             /*TouchesMemory=*/true, /*IsLoad=*/false, /*IsStore=*/true,
+             /*NeverCrossBlock=*/true, /*NeverSpeculate=*/true),
+    makeInfo("RELOADF", OpClass::FloatLoad, false, false,
+             /*TouchesMemory=*/true, /*IsLoad=*/true, /*IsStore=*/false,
+             /*NeverCrossBlock=*/true, /*NeverSpeculate=*/true),
     makeInfo("NOP", OpClass::Other),
 }};
 

@@ -68,11 +68,35 @@ enum class Opcode : uint8_t {
   BF,   ///< branch to target if cond bit of crs is false
   CALL, ///< call a named subroutine (memory barrier; never moved)
   RET,  ///< return from the function (optionally carrying a value register)
+
+  // Register-allocator spill code (regalloc/LinearScan).  Spill slots are
+  // compiler-private storage addressed by the immediate operand; they are
+  // disjoint from user memory (interp/Interpreter keeps them out of the
+  // observable heap) and from each other unless the slot ids match.
+  SPILL,   ///< spill-slot[imm] = rs           (fixed point)
+  RELOAD,  ///< rd = spill-slot[imm]           (fixed point)
+  SPILLF,  ///< spill-slot[imm] = fs           (floating point)
+  RELOADF, ///< fd = spill-slot[imm]           (floating point)
+
   NOP,  ///< no operation
 };
 
 /// Number of opcodes, for dense tables.
 constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::NOP) + 1;
+
+/// True for the allocator's spill-code opcodes (SPILL/RELOAD and their
+/// floating-point twins).  Spill slots live outside user memory, so memory
+/// disambiguation treats spill ops as disjoint from every ordinary
+/// load/store and keys spill-vs-spill conflicts on (class, slot id).
+constexpr bool isSpillOpcode(Opcode Op) {
+  return Op == Opcode::SPILL || Op == Opcode::RELOAD ||
+         Op == Opcode::SPILLF || Op == Opcode::RELOADF;
+}
+
+/// True for RELOAD/RELOADF (the read side of a spill slot).
+constexpr bool isReloadOpcode(Opcode Op) {
+  return Op == Opcode::RELOAD || Op == Opcode::RELOADF;
+}
 
 /// Condition bit tested by BT/BF, matching the paper's 0x1/lt, 0x2/gt
 /// annotations plus equality.

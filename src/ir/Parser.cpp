@@ -318,6 +318,17 @@ private:
     return true;
   }
 
+  /// slot[N] — a spill-slot reference (regalloc spill code).
+  bool expectSlotRef(LineCursor &C, int64_t &Slot) {
+    if (!C.consumeWord("slot") || !C.consume('['))
+      return instrError("expected 'slot['");
+    if (!expectInt(C, Slot))
+      return false;
+    if (!C.consume(']'))
+      return instrError("expected ']'");
+    return true;
+  }
+
   bool parseInstr(Function &F, BlockId B, std::string_view Line,
                   std::string Comment, std::string &BranchLabel,
                   InstrId &OutId) {
@@ -495,6 +506,20 @@ private:
           return false;
         I.uses() = {R1};
       }
+      break;
+    case Opcode::SPILL:
+    case Opcode::SPILLF:
+      if (!expectSlotRef(C, Imm) || !C.consume('=') || !expectReg(C, R1))
+        return instrError("malformed spill (SPILL slot[N] = rS)");
+      I.uses() = {R1};
+      I.setImm(Imm);
+      break;
+    case Opcode::RELOAD:
+    case Opcode::RELOADF:
+      if (!expectReg(C, R1) || !C.consume('=') || !expectSlotRef(C, Imm))
+        return instrError("malformed reload (RELOAD rD = slot[N])");
+      I.defs() = {R1};
+      I.setImm(Imm);
       break;
     case Opcode::NOP:
       break;

@@ -124,6 +124,18 @@ std::string gis::instructionToString(const Function &F, InstrId Id) {
                ? std::string("RET")
                : formatString("RET %s", I.uses()[0].str().c_str());
     break;
+  case Opcode::SPILL:
+  case Opcode::SPILLF:
+    Body = formatString("%s slot[%lld] = %s", Name.c_str(),
+                        static_cast<long long>(I.imm()),
+                        I.uses()[0].str().c_str());
+    break;
+  case Opcode::RELOAD:
+  case Opcode::RELOADF:
+    Body = formatString("%s %s = slot[%lld]", Name.c_str(),
+                        I.defs()[0].str().c_str(),
+                        static_cast<long long>(I.imm()));
+    break;
   case Opcode::NOP:
     Body = "NOP";
     break;

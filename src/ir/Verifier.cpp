@@ -221,6 +221,26 @@ private:
         problem(formatString("%s: RET with more than one value",
                              Label.c_str()));
       break;
+    case Opcode::SPILL:
+      expectCounts(Label, I, 0, 1);
+      if (!I.uses().empty())
+        expectClass(Label, I, I.uses()[0], RegClass::GPR, "value");
+      break;
+    case Opcode::RELOAD:
+      expectCounts(Label, I, 1, 0);
+      if (!I.defs().empty())
+        expectClass(Label, I, I.defs()[0], RegClass::GPR, "def");
+      break;
+    case Opcode::SPILLF:
+      expectCounts(Label, I, 0, 1);
+      if (!I.uses().empty())
+        expectClass(Label, I, I.uses()[0], RegClass::FPR, "value");
+      break;
+    case Opcode::RELOADF:
+      expectCounts(Label, I, 1, 0);
+      if (!I.defs().empty())
+        expectClass(Label, I, I.defs()[0], RegClass::FPR, "def");
+      break;
     case Opcode::NOP:
       expectCounts(Label, I, 0, 0);
       break;

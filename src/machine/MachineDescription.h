@@ -22,6 +22,7 @@
 #define GIS_MACHINE_MACHINEDESCRIPTION_H
 
 #include "ir/Instruction.h"
+#include "ir/Register.h"
 
 #include <array>
 #include <string>
@@ -83,8 +84,17 @@ public:
   /// (paper Section 2).  Zero when no rule matches.
   unsigned flowDelay(Opcode Producer, Opcode Consumer) const;
 
+  /// Number of architectural registers of class \p C (the finite register
+  /// file the allocator targets).  RS/6000: 32 GPR, 32 FPR, 8 CR.
+  unsigned numRegs(RegClass C) const {
+    return RegFile[static_cast<unsigned>(C)];
+  }
+
   /// Mutators for building custom configurations (ablation experiments).
   void setName(std::string N) { Name = std::move(N); }
+  void setNumRegs(RegClass C, unsigned N) {
+    RegFile[static_cast<unsigned>(C)] = N;
+  }
   void setExecTime(Opcode Op, unsigned Cycles) {
     ExecTimeOfOpcode[static_cast<unsigned>(Op)] = Cycles;
   }
@@ -111,6 +121,8 @@ private:
   std::array<unsigned, NumOpcodes> UnitOfOpcode = {};
   std::array<unsigned, NumOpcodes> ExecTimeOfOpcode = {};
   std::vector<DelayRule> DelayRules;
+  /// Architectural register-file sizes, indexed by RegClass (GPR/FPR/CR).
+  std::array<unsigned, 3> RegFile = {32, 32, 8};
 };
 
 } // namespace gis

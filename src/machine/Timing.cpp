@@ -48,6 +48,17 @@ TimingSimulator::simulate(const std::vector<TraceEntry> &Trace) const {
     unsigned Type = MD.unitTypeForOp(I.opcode());
     unsigned Exec = MD.execTime(I.opcode());
 
+    // Spill slots behave like registers for flow timing: a RELOAD's value
+    // is ready only when its SPILL completed.  Slot keys live above the
+    // Reg::key() encoding space (class bits <= 2 keep real keys below
+    // 0x30000000), with the low bit separating int from float slots.
+    auto SlotKey = [](const Instruction &SI) -> uint32_t {
+      bool Float = SI.opcode() == Opcode::SPILLF ||
+                   SI.opcode() == Opcode::RELOADF;
+      return 0x40000000u |
+             (static_cast<uint32_t>(SI.imm()) << 1) | (Float ? 1u : 0u);
+    };
+
     // (a) operands ready, with producer/consumer interlock delays.
     uint64_t Ready = 0;
     for (Reg U : I.uses()) {
@@ -57,6 +68,11 @@ TimingSimulator::simulate(const std::vector<TraceEntry> &Trace) const {
       uint64_t Avail =
           It->second.CompleteAt + MD.flowDelay(It->second.Op, I.opcode());
       Ready = std::max(Ready, Avail);
+    }
+    if (isReloadOpcode(I.opcode())) {
+      auto It = RegProducer.find({&F, SlotKey(I)});
+      if (It != RegProducer.end())
+        Ready = std::max(Ready, It->second.CompleteAt);
     }
 
     // (c) in-order issue: not before any earlier instruction.
@@ -77,6 +93,8 @@ TimingSimulator::simulate(const std::vector<TraceEntry> &Trace) const {
 
     for (Reg D : I.defs())
       RegProducer[{&F, D.key()}] = Producer{I.opcode(), T + Exec};
+    if (I.opcode() == Opcode::SPILL || I.opcode() == Opcode::SPILLF)
+      RegProducer[{&F, SlotKey(I)}] = Producer{I.opcode(), T + Exec};
 
     if (RecordIssue)
       Result.IssueTimes.push_back(T);

@@ -33,6 +33,11 @@ constexpr CounterInfo Infos[NumCounters] = {
     {"tx.rollbacks", "transactions rolled back"},
     {"cache.hits", "schedule-cache hits"},
     {"cache.misses", "schedule-cache misses"},
+    {"regalloc.intervals", "live intervals built"},
+    {"regalloc.spilled_intervals", "intervals spilled"},
+    {"regalloc.spill_stores", "spill stores emitted"},
+    {"regalloc.spill_reloads", "spill reloads emitted"},
+    {"regalloc.failures", "allocation attempts rolled back"},
 };
 
 } // namespace

@@ -67,6 +67,14 @@ enum class CounterId : unsigned {
   CacheHits,   ///< schedule-cache hits (engine path)
   CacheMisses, ///< schedule-cache misses (engine path)
 
+  // Register allocation (regalloc/LinearScan; PipelineOptions::
+  // AllocateRegisters).
+  RegAllocIntervals,        ///< live intervals built (all classes)
+  RegAllocSpilledIntervals, ///< intervals assigned a spill slot
+  RegAllocSpillStores,      ///< SPILL/SPILLF instructions emitted
+  RegAllocSpillReloads,     ///< RELOAD/RELOADF instructions emitted
+  RegAllocFailures,         ///< allocation attempts rolled back
+
   NumCounters
 };
 
@@ -92,6 +100,14 @@ inline constexpr CounterId SpecRenames = CounterId::SpecRenames;
 inline constexpr CounterId Rollbacks = CounterId::Rollbacks;
 inline constexpr CounterId CacheHits = CounterId::CacheHits;
 inline constexpr CounterId CacheMisses = CounterId::CacheMisses;
+inline constexpr CounterId RegAllocIntervals = CounterId::RegAllocIntervals;
+inline constexpr CounterId RegAllocSpilledIntervals =
+    CounterId::RegAllocSpilledIntervals;
+inline constexpr CounterId RegAllocSpillStores =
+    CounterId::RegAllocSpillStores;
+inline constexpr CounterId RegAllocSpillReloads =
+    CounterId::RegAllocSpillReloads;
+inline constexpr CounterId RegAllocFailures = CounterId::RegAllocFailures;
 
 /// Stable machine-readable key of a counter ("motion.useful", "rule.delay_useful", ...).
 std::string_view counterKey(CounterId Id);

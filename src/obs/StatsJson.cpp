@@ -110,6 +110,15 @@ void writePipelineFields(std::ostream &OS, const PipelineStats &S,
   W.field("oracle_mismatches", S.OracleMismatches);
   W.field("engine_failures", S.EngineFailures);
   W.field("faults_injected", S.FaultsInjected);
+  W.field("pressure_peak_gpr", S.PressurePeak[0]);
+  W.field("pressure_peak_fpr", S.PressurePeak[1]);
+  W.field("pressure_peak_cr", S.PressurePeak[2]);
+  W.field("regalloc_intervals", S.RegAlloc.IntervalsBuilt);
+  W.field("regalloc_spilled_intervals", S.RegAlloc.IntervalsSpilled);
+  W.field("regalloc_spill_stores", S.RegAlloc.SpillStores);
+  W.field("regalloc_spill_reloads", S.RegAlloc.SpillReloads);
+  W.field("regalloc_spill_slots", S.RegAlloc.SpillSlots);
+  W.field("regalloc_failures", S.RegAllocFailures);
   W.field("diagnostics", static_cast<uint64_t>(S.Diags.size()));
   W.field("decisions", static_cast<uint64_t>(S.Decisions.size()));
   OS << "\n" << (Indent + 2) << "}";

@@ -1,0 +1,68 @@
+//===- regalloc/LiveIntervals.cpp - Live-interval construction ------------===//
+
+#include "regalloc/LiveIntervals.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+LiveIntervals gis::LiveIntervals::build(const Function &F) {
+  LiveIntervals LIV;
+  LIV.PosOf.assign(F.numInstrs(), 0);
+  LIV.BlockSpans.assign(F.numBlocks(), {0, 0});
+
+  auto Extend = [&](Reg R, uint32_t Pos) {
+    auto [It, Inserted] = LIV.IndexOfReg.emplace(R.key(), LIV.Intervals.size());
+    if (Inserted)
+      LIV.Intervals.push_back(LiveInterval{R, Pos, Pos});
+    LiveInterval &I = LIV.Intervals[It->second];
+    I.Start = std::min(I.Start, Pos);
+    I.End = std::max(I.End, Pos);
+  };
+
+  // Parameters become live at the entry (position 0), whether or not the
+  // body ever reads them: the allocator must still give each incoming
+  // value a distinct home.
+  for (Reg P : F.params())
+    Extend(P, 0);
+
+  // Number instructions by layout order and extend over defs and uses.
+  uint32_t Pos = 0;
+  for (BlockId B : F.layout()) {
+    uint32_t First = Pos + 1;
+    for (InstrId Id : F.block(B).instrs()) {
+      ++Pos;
+      LIV.PosOf[Id] = Pos;
+      const Instruction &I = F.instr(Id);
+      for (Reg D : I.defs())
+        Extend(D, Pos);
+      for (Reg U : I.uses())
+        Extend(U, Pos);
+    }
+    // An empty block spans the gap position; conservative either way.
+    LIV.BlockSpans[B] = {First, std::max(First, Pos)};
+  }
+
+  // Liveness across block boundaries: a register live into a block is live
+  // from the block's first position; live out of it, to its last.
+  Liveness LV = Liveness::compute(F);
+  for (BlockId B : F.layout()) {
+    auto [First, Last] = LIV.BlockSpans[B];
+    for (Reg R : LV.liveInRegs(B))
+      Extend(R, First);
+    for (Reg R : LV.liveOutRegs(B))
+      Extend(R, Last);
+  }
+
+  std::sort(LIV.Intervals.begin(), LIV.Intervals.end(),
+            [](const LiveInterval &A, const LiveInterval &B) {
+              if (A.Start != B.Start)
+                return A.Start < B.Start;
+              return A.R.key() < B.R.key();
+            });
+  for (size_t K = 0; K != LIV.Intervals.size(); ++K)
+    LIV.IndexOfReg[LIV.Intervals[K].R.key()] = K;
+  return LIV;
+}

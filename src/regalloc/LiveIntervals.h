@@ -1,0 +1,80 @@
+//===- regalloc/LiveIntervals.h - Live-interval construction ----*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live intervals over the scheduled IR, the input of the linear-scan
+/// allocator (regalloc/LinearScan.h).  Instructions are numbered by layout
+/// order (position 0 is the function entry, where parameters become live);
+/// a register's interval is the smallest [Start, End] range covering every
+/// def, every use, and -- via analysis/Liveness -- the span of every block
+/// it is live into or out of.  One interval per register (Poletto-style
+/// coarsening): the interval over-approximates liveness, never under-
+/// approximates it, so two simultaneously-live registers always have
+/// overlapping intervals (the property tests/regalloc_test.cpp checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_REGALLOC_LIVEINTERVALS_H
+#define GIS_REGALLOC_LIVEINTERVALS_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gis {
+
+/// The live range of one symbolic register in linearized position space,
+/// inclusive at both ends.
+struct LiveInterval {
+  Reg R;
+  uint32_t Start = ~uint32_t(0);
+  uint32_t End = 0;
+
+  bool covers(uint32_t Pos) const { return Start <= Pos && Pos <= End; }
+  bool overlaps(const LiveInterval &O) const {
+    return Start <= O.End && O.Start <= End;
+  }
+};
+
+/// Live intervals of every register referenced by a function.
+class LiveIntervals {
+public:
+  /// Builds intervals for \p F.  The CFG must be up to date (liveness runs
+  /// underneath).
+  static LiveIntervals build(const Function &F);
+
+  /// All intervals, ordered by (Start, register key) -- the scan order of
+  /// the linear-scan allocator.
+  const std::vector<LiveInterval> &intervals() const { return Intervals; }
+
+  /// The interval of \p R, or null when \p R never occurs in the function.
+  const LiveInterval *intervalFor(Reg R) const {
+    auto It = IndexOfReg.find(R.key());
+    return It == IndexOfReg.end() ? nullptr : &Intervals[It->second];
+  }
+
+  /// Linear position of instruction \p Id (1-based; 0 is the entry).
+  uint32_t positionOf(InstrId Id) const { return PosOf[Id]; }
+
+  /// [first, last] instruction positions of block \p B in layout order.
+  std::pair<uint32_t, uint32_t> blockSpan(BlockId B) const {
+    return BlockSpans[B];
+  }
+
+private:
+  std::vector<LiveInterval> Intervals;
+  std::unordered_map<uint32_t, size_t> IndexOfReg; ///< Reg::key -> index
+  std::vector<uint32_t> PosOf;                     ///< per InstrId
+  std::vector<std::pair<uint32_t, uint32_t>> BlockSpans; ///< per BlockId
+};
+
+} // namespace gis
+
+#endif // GIS_REGALLOC_LIVEINTERVALS_H

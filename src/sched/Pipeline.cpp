@@ -2,6 +2,7 @@
 
 #include "sched/Pipeline.h"
 
+#include "analysis/RegPressure.h"
 #include "analysis/Region.h"
 #include "analysis/RegionSlice.h"
 #include "interp/DifferentialOracle.h"
@@ -587,6 +588,62 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
           return Status::ok();
         },
         /*RegionScoped=*/false);
+
+  // Peak pressure of the scheduled, still-symbolic code: the quantity the
+  // finite register files must absorb (and what --stats reports even when
+  // allocation is off).
+  {
+    RegPressure RP = computeRegPressure(F);
+    for (unsigned C = 0; C != 3; ++C)
+      Stats.PressurePeak[C] = std::max(Stats.PressurePeak[C], RP.MaxLive[C]);
+  }
+
+  // Step 6: register allocation (regalloc/LinearScan.h) maps the function
+  // onto the machine's finite register files, then the basic-block
+  // scheduler runs once more so the spill code's anti/output dependences
+  // are woven into the issue slots -- the XL "twice-scheduled" flow the
+  // paper describes.  A failed allocation rolls back to symbolic registers
+  // and the pipeline's ordinary output stands.
+  if (Opts.AllocateRegisters) {
+    bool Committed = runTransaction(
+        Ctx, "regalloc", -1,
+        [&](PipelineStats &Delta) {
+          RegAllocStats RA;
+          Status S = allocateRegisters(F, MD, RA);
+          if (!S.isOk())
+            return S;
+          Delta.RegAlloc += RA;
+          if (Opts.CollectCounters) {
+            Delta.Counters.bump(obs::RegAllocIntervals, RA.IntervalsBuilt);
+            Delta.Counters.bump(obs::RegAllocSpilledIntervals,
+                                RA.IntervalsSpilled);
+            Delta.Counters.bump(obs::RegAllocSpillStores, RA.SpillStores);
+            Delta.Counters.bump(obs::RegAllocSpillReloads, RA.SpillReloads);
+          }
+          return S;
+        },
+        /*RegionScoped=*/false);
+    if (!Committed) {
+      ++Stats.RegAllocFailures;
+      if (Opts.CollectCounters)
+        Stats.Counters.bump(obs::RegAllocFailures);
+    }
+    if (Committed && Opts.RescheduleAfterAlloc && Opts.RunLocalScheduler) {
+      F.renumberOriginalOrder();
+      runTransaction(
+          Ctx, "postalloc", -1,
+          [&](PipelineStats &Delta) {
+            obs::SchedSink Sink;
+            if (Opts.CollectCounters)
+              Sink.Counters = &Delta.Counters;
+            if (Opts.CollectDecisions)
+              Sink.Decisions = &Delta.Decisions;
+            Delta.Local = scheduleLocal(F, MD, Sink);
+            return Status::ok();
+          },
+          /*RegionScoped=*/false);
+    }
+  }
 
   F.recomputeCFG();
   F.renumberOriginalOrder();

@@ -51,6 +51,7 @@
 #include "machine/MachineDescription.h"
 #include "obs/Counters.h"
 #include "obs/Decision.h"
+#include "regalloc/LinearScan.h"
 #include "sched/GlobalScheduler.h"
 #include "sched/LocalScheduler.h"
 #include "sched/Profile.h"
@@ -87,6 +88,23 @@ struct PipelineOptions {
 
   /// Run the basic-block scheduler after global scheduling.
   bool RunLocalScheduler = true;
+
+  //===--------------------------------------------------------------------===
+  // Register allocation (src/regalloc/; gisc --regalloc)
+  //===--------------------------------------------------------------------===
+
+  /// Map the scheduled function onto the finite register files of the
+  /// MachineDescription (regalloc/LinearScan.h), emitting spill code where
+  /// pressure exceeds them.  Off by default, preserving the paper's
+  /// Section 2 contract of scheduling over unbounded symbolic registers;
+  /// on, the pipeline mirrors the XL flow the paper describes --
+  /// schedule, allocate, reschedule.  Runs as a transaction: a failed
+  /// allocation (see LinearScan.h) rolls back to symbolic registers.
+  bool AllocateRegisters = false;
+  /// Re-run the basic-block scheduler after allocation so spill code is
+  /// woven into the issue slots (the "twice-scheduled" XL flow).  Only
+  /// applies with AllocateRegisters and RunLocalScheduler.
+  bool RescheduleAfterAlloc = true;
 
   /// Future-work extension (paper Section 7): scheduling with duplication
   /// (Definition 6), restricted to join replication.  Off by default, as
@@ -164,6 +182,17 @@ struct PipelineStats {
   unsigned RegionsSkippedBySize = 0;
   unsigned FunctionsSkippedIrreducible = 0;
 
+  /// Peak register pressure per class (GPR, FPR, CR) of the scheduled
+  /// code, before any allocation (analysis/RegPressure.h) -- across
+  /// functions the *maximum* is kept, not the sum.
+  std::array<unsigned, 3> PressurePeak = {0, 0, 0};
+  /// Register allocation totals (PipelineOptions::AllocateRegisters);
+  /// all zero when allocation is off or rolled back.
+  RegAllocStats RegAlloc;
+  /// Allocation transactions that failed and rolled back to symbolic
+  /// registers (e.g. a condition-register interval would spill).
+  unsigned RegAllocFailures = 0;
+
   /// Waves of the region dependence forest dispatched by the two global
   /// scheduling passes (a wave's regions are mutually independent and may
   /// run concurrently; see PipelineOptions::RegionJobs).
@@ -212,6 +241,12 @@ struct PipelineStats {
     DuplicatedInstrs += RHS.DuplicatedInstrs;
     RegionsSkippedBySize += RHS.RegionsSkippedBySize;
     FunctionsSkippedIrreducible += RHS.FunctionsSkippedIrreducible;
+    for (unsigned C = 0; C != 3; ++C)
+      PressurePeak[C] = PressurePeak[C] > RHS.PressurePeak[C]
+                            ? PressurePeak[C]
+                            : RHS.PressurePeak[C];
+    RegAlloc += RHS.RegAlloc;
+    RegAllocFailures += RHS.RegAllocFailures;
     RegionWaves += RHS.RegionWaves;
     RegionTimes.insert(RegionTimes.end(), RHS.RegionTimes.begin(),
                        RHS.RegionTimes.end());

@@ -22,6 +22,8 @@ const char *gis::errorCodeName(ErrorCode C) {
     return "loop-transform-failed";
   case ErrorCode::FaultInjected:
     return "fault-injected";
+  case ErrorCode::RegAllocFailed:
+    return "regalloc-failed";
   }
   return "unknown";
 }

@@ -46,6 +46,11 @@ enum class ErrorCode : uint8_t {
   /// A deliberately injected fault (GIS_FAULT_INJECT) corrupted the
   /// transform output; recorded when the corruption itself is reported.
   FaultInjected,
+  /// The register allocator could not map the function onto the machine's
+  /// register files (e.g. a condition-register interval would spill, or
+  /// one instruction needs more scratch registers than are reserved); the
+  /// function keeps its symbolic registers.
+  RegAllocFailed,
 };
 
 /// Returns a short stable name for \p C ("ok", "scheduler-divergence", ...).
