@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdio>
 #include <optional>
+#include <thread>
 
 namespace gis {
 namespace bench {
@@ -138,6 +139,63 @@ inline unsigned scheduleRollbacks(const Workload &W,
 /// Prints a horizontal rule sized for our tables.
 inline void rule(unsigned Width = 72) {
   std::fputs((std::string(Width, '-') + "\n").c_str(), stdout);
+}
+
+/// Hardware threads of the host, never zero (hardware_concurrency() may
+/// return 0 when the count is unknowable).  Thread-scaling measurements
+/// are only interpretable relative to this number, so every BENCH_*.json
+/// blob records it.
+inline unsigned hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+/// Merges one top-level \p Key section into the shared benchmark JSON
+/// document at \p Path: strips the closing brace of the existing
+/// document, drops a stale copy of the section (and anything after it) on
+/// re-runs, and appends \p Section (a complete JSON value).  A fresh
+/// document is opened with a "hardware_threads" field so the blob is
+/// self-describing no matter which benchmark binary runs first.  Returns
+/// false (with a diagnostic naming \p Tool) when the file is unwritable.
+inline bool mergeJsonSection(const char *Path, const char *Tool,
+                             const char *Key, const std::string &Section) {
+  std::string Existing;
+  if (std::FILE *In = std::fopen(Path, "r")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+      Existing.append(Buf, N);
+    std::fclose(In);
+    // Strip exactly one closing brace -- the document's own.  Stripping
+    // every trailing '}' would also eat the brace of a nested object that
+    // happens to close the last section.
+    while (!Existing.empty() &&
+           (Existing.back() == '\n' || Existing.back() == ' '))
+      Existing.pop_back();
+    if (!Existing.empty() && Existing.back() == '}')
+      Existing.pop_back();
+  }
+  if (size_t P = Existing.rfind(std::string("\n  \"") + Key + "\"");
+      P != std::string::npos)
+    Existing.resize(P);
+  while (!Existing.empty() &&
+         (Existing.back() == ',' || Existing.back() == '\n' ||
+          Existing.back() == ' '))
+    Existing.pop_back();
+  if (Existing == "{")
+    Existing.clear();
+  std::FILE *Out = std::fopen(Path, "w");
+  if (!Out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", Tool, Path);
+    return false;
+  }
+  if (Existing.empty())
+    std::fprintf(Out, "{\n  \"hardware_threads\": %u,", hardwareThreads());
+  else
+    std::fputs((Existing + ",").c_str(), Out);
+  std::fprintf(Out, "\n  \"%s\": %s\n}\n", Key, Section.c_str());
+  std::fclose(Out);
+  return true;
 }
 
 } // namespace bench

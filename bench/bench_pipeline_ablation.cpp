@@ -252,46 +252,15 @@ void printObservabilityTable() {
               "counters on, tracer\noff) -- budget < 2%%.  '+ tracer on' "
               "includes per-cycle instant events.\n");
 
-  // Merge into BENCH_engine.json: strip the closing brace of the existing
-  // document (written by bench_engine_throughput) and append our section;
-  // start a fresh document when none exists.
-  std::string Existing;
-  if (std::FILE *In = std::fopen("BENCH_engine.json", "r")) {
-    char Buf[4096];
-    size_t N;
-    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
-      Existing.append(Buf, N);
-    std::fclose(In);
-    while (!Existing.empty() &&
-           (Existing.back() == '\n' || Existing.back() == ' ' ||
-            Existing.back() == '}'))
-      Existing.pop_back();
-  }
-  // Drop a previous "observability" section (and its separator) on re-runs.
-  if (size_t P = Existing.rfind("\n  \"observability\"");
-      P != std::string::npos)
-    Existing.resize(P);
-  while (!Existing.empty() &&
-         (Existing.back() == ',' || Existing.back() == '\n' ||
-          Existing.back() == ' '))
-    Existing.pop_back();
-  if (Existing == "{")
-    Existing.clear();
-  std::FILE *Out = std::fopen("BENCH_engine.json", "w");
-  if (!Out) {
-    std::fprintf(stderr, "bench_pipeline_ablation: cannot write "
-                         "BENCH_engine.json\n");
+  // Merge into BENCH_engine.json next to the engine throughput numbers.
+  std::string Section = formatString("{\n"
+                                     "    \"default_overhead_pct\": %.2f,\n"
+                                     "    \"tracer_on_overhead_pct\": %.2f,\n"
+                                     "    \"budget_pct\": 2.0\n  }",
+                                     DefaultOverhead, TracerOverhead);
+  if (!mergeJsonSection("BENCH_engine.json", "bench_pipeline_ablation",
+                        "observability", Section))
     return;
-  }
-  std::fputs(Existing.empty() ? "{" : Existing.c_str(), Out);
-  std::fprintf(Out,
-               "%s\n  \"observability\": {\n"
-               "    \"default_overhead_pct\": %.2f,\n"
-               "    \"tracer_on_overhead_pct\": %.2f,\n"
-               "    \"budget_pct\": 2.0\n"
-               "  }\n}\n",
-               Existing.empty() ? "" : ",", DefaultOverhead, TracerOverhead);
-  std::fclose(Out);
   std::printf("wrote observability overhead to BENCH_engine.json\n");
   if (DefaultOverhead >= 2.0)
     std::printf("WARNING: default observability overhead %.2f%% exceeds "

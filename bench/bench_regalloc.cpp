@@ -140,41 +140,13 @@ void printPaperTable() {
     Json.erase(Json.size() - 2, 1); // trailing comma of the last row
 
   // Merge into BENCH_engine.json (same protocol as the observability
-  // section): strip the closing brace, drop a stale "regalloc" section,
-  // append ours.
-  std::string Existing;
-  if (std::FILE *In = std::fopen("BENCH_engine.json", "r")) {
-    char Buf[4096];
-    size_t N;
-    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
-      Existing.append(Buf, N);
-    std::fclose(In);
-    while (!Existing.empty() &&
-           (Existing.back() == '\n' || Existing.back() == ' ' ||
-            Existing.back() == '}'))
-      Existing.pop_back();
-  }
-  if (size_t P = Existing.rfind("\n  \"regalloc\""); P != std::string::npos)
-    Existing.resize(P);
-  while (!Existing.empty() &&
-         (Existing.back() == ',' || Existing.back() == '\n' ||
-          Existing.back() == ' '))
-    Existing.pop_back();
-  if (Existing == "{")
-    Existing.clear();
-  std::FILE *Out = std::fopen("BENCH_engine.json", "w");
-  if (!Out) {
-    std::fprintf(stderr,
-                 "bench_regalloc: cannot write BENCH_engine.json\n");
+  // section -- see bench::mergeJsonSection).
+  std::string Section = "{\n    \"monotone\": " +
+                        std::string(Monotone ? "true" : "false") +
+                        ",\n    \"rows\": [\n" + Json + "    ]\n  }";
+  if (!mergeJsonSection("BENCH_engine.json", "bench_regalloc", "regalloc",
+                        Section))
     return;
-  }
-  std::fputs(Existing.empty() ? "{" : Existing.c_str(), Out);
-  std::fprintf(Out,
-               "%s\n  \"regalloc\": {\n    \"monotone\": %s,\n"
-               "    \"rows\": [\n%s    ]\n  }\n}\n",
-               Existing.empty() ? "" : ",", Monotone ? "true" : "false",
-               Json.c_str());
-  std::fclose(Out);
   std::printf("wrote E10 register-file sweep to BENCH_engine.json\n");
 }
 

@@ -25,6 +25,27 @@
 //     engine path supports the scheduling/inspection options below;
 //     --run/--profile/--report need a single input without --jobs/--batch.
 //
+//   persistence and serving (src/persist/):
+//     --cache-dir DIR            disk-backed schedule cache under DIR
+//                                (shared across processes; survives
+//                                restarts); implies the engine path.  An
+//                                unusable DIR is a startup error with
+//                                exit code 3; I/O failures after startup
+//                                degrade to memory-only with a diagnostic
+//     --serve PATH               run as a compile daemon on Unix socket
+//                                PATH (no input files needed); SIGTERM or
+//                                SIGINT drains the queue and exits
+//     --serve-workers N          daemon worker threads (default 2)
+//     --serve-queue N            admission-queue bound; requests beyond
+//                                it are shed with a retry hint (default 16)
+//     --client PATH              send the input files to the daemon at
+//                                PATH instead of compiling locally;
+//                                scheduled modules print to stdout
+//     --deadline-ms N            per-request deadline (default 30000)
+//     --retries N                client retries on shed/connect failure,
+//                                with exponential backoff + jitter
+//                                (default 4)
+//
 //   scheduling:
 //     --level none|useful|spec   global scheduling level (default spec)
 //     --spec-depth N             branches to gamble on (default 1)
@@ -85,14 +106,20 @@
 #include "machine/Timing.h"
 #include "obs/StatsJson.h"
 #include "obs/Trace.h"
+#include "persist/Client.h"
+#include "persist/PersistIO.h"
+#include "persist/Server.h"
 #include "sched/Pipeline.h"
 #include "sched/Profile.h"
 #include "sched/Report.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 using namespace gis;
 
@@ -126,6 +153,14 @@ struct CliOptions {
   std::string TraceJsonPath;
   std::string StatsJsonPath;
   bool Explain = false;
+  /// Persistence and serving (src/persist/).
+  std::string CacheDir;
+  std::string ServePath;
+  std::string ClientPath;
+  unsigned ServeWorkers = 2;
+  unsigned ServeQueue = 16;
+  unsigned DeadlineMs = 30000;
+  unsigned Retries = 4;
 };
 
 void usage() {
@@ -266,6 +301,42 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.EngineRequested = true;
     } else if (A == "--no-cache") {
       Cli.UseCache = false;
+    } else if (A == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.CacheDir = V;
+      Cli.EngineRequested = true; // the disk tier lives in the engine
+    } else if (A == "--serve") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.ServePath = V;
+    } else if (A == "--client") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.ClientPath = V;
+    } else if (A == "--serve-workers") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.ServeWorkers = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--serve-queue") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.ServeQueue = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--deadline-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.DeadlineMs = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--retries") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Retries = static_cast<unsigned>(std::atoi(V));
     } else if (A == "--trace-json") {
       const char *V = Next();
       if (!V)
@@ -292,8 +363,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     if (Cli.RegsOverride[C] >= 0)
       Cli.Machine.setNumRegs(static_cast<RegClass>(C),
                              static_cast<unsigned>(Cli.RegsOverride[C]));
-  return Cli.ListMachines || !Cli.InputPaths.empty() ||
-         !Cli.BatchFiles.empty();
+  return Cli.ListMachines || !Cli.ServePath.empty() ||
+         !Cli.InputPaths.empty() || !Cli.BatchFiles.empty();
 }
 
 /// Appends the paths listed in manifest \p Path (one per line; blank lines
@@ -469,6 +540,7 @@ int runEngineMode(const CliOptions &Cli,
   EngineOptions EOpts;
   EOpts.Jobs = Cli.Jobs;
   EOpts.UseCache = Cli.UseCache;
+  EOpts.CacheDir = Cli.CacheDir; // validated at startup (exit code 3)
   CompileEngine Engine(Cli.Machine, Cli.Pipeline, EOpts);
 
   std::vector<BatchItem> Batch;
@@ -522,6 +594,102 @@ int runEngineMode(const CliOptions &Cli,
   return 0;
 }
 
+namespace {
+
+/// SIGTERM/SIGINT latch for --serve; the main loop polls it and drains.
+volatile std::sig_atomic_t GServeSignal = 0;
+void onServeSignal(int) { GServeSignal = 1; }
+
+/// The compile daemon (persist/Server.h).  Runs until SIGTERM/SIGINT,
+/// then drains the admission queue and exits.
+int runServeMode(const CliOptions &Cli) {
+  persist::ServerOptions SO;
+  SO.SocketPath = Cli.ServePath;
+  SO.Workers = Cli.ServeWorkers;
+  SO.QueueDepth = Cli.ServeQueue;
+  SO.DefaultDeadlineMs = Cli.DeadlineMs;
+  SO.CacheDir = Cli.CacheDir;
+  persist::CompileServer Server(Cli.Machine, Cli.Pipeline, SO);
+  if (Status S = Server.start(); !S.isOk()) {
+    std::cerr << "gisc: --serve: " << S.str() << "\n";
+    return 1;
+  }
+  std::signal(SIGTERM, onServeSignal);
+  std::signal(SIGINT, onServeSignal);
+  std::cerr << "gisc: serving on " << Cli.ServePath << " ("
+            << Cli.ServeWorkers << " worker(s), queue bound "
+            << Cli.ServeQueue << ")\n";
+  while (!GServeSignal)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::cerr << "gisc: draining...\n";
+  Server.drainAndJoin();
+  persist::ServerStats S = Server.stats();
+  std::cerr << "gisc: served " << S.Completed << " request(s), shed "
+            << S.Shed << ", timed out " << S.TimedOut << ", errors "
+            << S.Errors << "\n";
+  return 0;
+}
+
+/// --client: ship each input to the daemon; scheduled modules go to
+/// stdout in input order, exactly as --dump-ir would print them.
+int runClientMode(const CliOptions &Cli,
+                  const std::vector<std::string> &Paths) {
+  persist::ClientOptions CO;
+  CO.SocketPath = Cli.ClientPath;
+  CO.Retries = Cli.Retries;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::cerr << "gisc: cannot open " << Path << "\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+
+    persist::CompileRequest Req;
+    Req.IsAsm = Cli.InputIsAsm;
+    Req.DeadlineMs = Cli.DeadlineMs;
+    Req.Name = Path;
+    for (char &C : Req.Name) // the wire header is space-delimited
+      if (C == ' ' || C == '\t')
+        C = '_';
+    Req.Source = SS.str();
+
+    persist::CompileResponse R = persist::compileOverSocket(CO, Req);
+    switch (R.Kind) {
+    case persist::ResponseKind::Ok:
+      std::cout << "// file: " << Path << "\n" << R.Text;
+      if (Cli.Stats)
+        std::cerr << "gisc: " << Path << ": mem hits " << R.MemHits
+                  << ", disk hits " << R.DiskHits << ", misses "
+                  << R.Misses << " (" << R.Attempts << " attempt(s))\n";
+      break;
+    case persist::ResponseKind::Shed:
+      std::cerr << "gisc: " << Path << ": daemon overloaded after "
+                << R.Attempts << " attempt(s)\n";
+      return 1;
+    case persist::ResponseKind::Timeout:
+      std::cerr << "gisc: " << Path << ": " << R.Text << "\n";
+      return 1;
+    case persist::ResponseKind::Error:
+      std::cerr << "gisc: " << Path << ": daemon error: " << R.Text
+                << "\n";
+      return 1;
+    case persist::ResponseKind::ConnectFailed:
+      std::cerr << "gisc: cannot reach daemon at " << Cli.ClientPath
+                << " after " << (Cli.Retries + 1) << " attempt(s)\n";
+      return 1;
+    case persist::ResponseKind::ProtocolError:
+      std::cerr << "gisc: " << Path << ": protocol error: " << R.Text
+                << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   CliOptions Cli;
   if (!parseArgs(argc, argv, Cli)) {
@@ -531,6 +699,22 @@ int main(int argc, char **argv) {
   if (Cli.ListMachines)
     return listMachines();
 
+  // Validate --cache-dir up front with a distinct exit code: a typo'd or
+  // unwritable directory is a configuration error the caller should see
+  // immediately, not a silently memory-only run.
+  if (!Cli.CacheDir.empty()) {
+    Status S = persist::ensureDir(Cli.CacheDir);
+    if (S.isOk())
+      S = persist::probeWritable(Cli.CacheDir);
+    if (!S.isOk()) {
+      std::cerr << "gisc: cache directory unusable: " << S.str() << "\n";
+      return 3;
+    }
+  }
+
+  if (!Cli.ServePath.empty())
+    return runServeMode(Cli);
+
   std::vector<std::string> Paths = Cli.InputPaths;
   for (const std::string &Manifest : Cli.BatchFiles)
     if (!readBatchManifest(Manifest, Paths))
@@ -539,6 +723,9 @@ int main(int argc, char **argv) {
     std::cerr << "gisc: no input files\n";
     return 2;
   }
+
+  if (!Cli.ClientPath.empty())
+    return runClientMode(Cli, Paths);
 
   if (Cli.EngineRequested || Paths.size() > 1)
     return runEngineMode(Cli, Paths);

@@ -32,7 +32,7 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): parallel + obs + regalloc suites =="
+echo "== sanitized build (thread): parallel + obs + regalloc + persist suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "parallel" label covers gis_parallel_tests: the batch engine, the
 # thread pool / cache / hashing units, and the region-parallel scheduling
@@ -43,7 +43,45 @@ build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # ASan run above).  The "regalloc" label covers gis_regalloc_tests: the
 # allocator rewrites functions that engine worker threads compile
 # concurrently and its cache test shares one ScheduleCache across
-# engines, so it runs under TSan as well.
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc'
+# engines, so it runs under TSan as well.  The "persist" label covers
+# gis_persist_tests: the disk cache tier is written and read by engine
+# worker threads, the compile daemon runs an acceptor plus workers over
+# one shared cache, and two engines share a cache directory in-process.
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist'
+
+echo "== cross-process cache-dir sharing (two gisc processes, one directory) =="
+# Beyond the in-process test, run two real gisc processes concurrently
+# against one cache directory: the atomic-rename publish protocol must
+# hold across processes (no quarantines on a clean path, no crashes),
+# and a third run must be served from the disk tier they populated.
+GISC="$ROOT/build/examples/example_gisc"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cat > "$WORK/a.c" <<'EOF'
+int work(int n) { int s = 0; int i = 0; while (i < n) { s = s + i * i; i = i + 1; } return s; }
+int main(int n) { return work(n) + work(n + 1); }
+EOF
+cp "$WORK/a.c" "$WORK/b.c"
+"$GISC" "$WORK/a.c" "$WORK/b.c" --cache-dir "$WORK/cache" --stats-json "$WORK/s1.json" >/dev/null &
+P1=$!
+"$GISC" "$WORK/b.c" "$WORK/a.c" --cache-dir "$WORK/cache" --stats-json "$WORK/s2.json" >/dev/null &
+P2=$!
+wait "$P1"
+wait "$P2"
+"$GISC" "$WORK/a.c" --cache-dir "$WORK/cache" --stats-json "$WORK/s3.json" >/dev/null
+# A clean-path run must not leak quarantines: any nonzero count here
+# means the publish protocol produced an entry some reader refused.
+for s in "$WORK"/s1.json "$WORK"/s2.json "$WORK"/s3.json; do
+  if ! grep -q '"quarantines": 0' "$s"; then
+    echo "FAIL: quarantine counter leaked in clean-path run ($s):" >&2
+    grep '"quarantines"' "$s" >&2 || cat "$s" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"disk_hits": [1-9]' "$WORK/s3.json"; then
+  echo "FAIL: warm restart saw no disk hits ($WORK/s3.json):" >&2
+  grep '"disk_hits"' "$WORK/s3.json" >&2 || cat "$WORK/s3.json" >&2
+  exit 1
+fi
 
 echo "OK: all suites passed"

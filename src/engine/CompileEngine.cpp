@@ -40,6 +40,14 @@ std::string EngineReport::summary() const {
       "  cache: %llu hit(s), %llu miss(es) (%.1f%% hit rate)\n",
       static_cast<unsigned long long>(CacheHits),
       static_cast<unsigned long long>(CacheMisses), 100.0 * cacheHitRate());
+  if (DiskEnabled)
+    S += formatString(
+        "  disk tier: %llu hit(s) this batch, %llu quarantine(s), "
+        "%llu write failure(s)%s\n",
+        static_cast<unsigned long long>(DiskHits),
+        static_cast<unsigned long long>(Disk.Quarantines),
+        static_cast<unsigned long long>(Disk.WriteFailures),
+        Disk.Degraded ? " [degraded: memory-only]" : "");
   S += formatString(
       "  queue wait: %.3fs total; schedule time: %.3fs total\n",
       TotalQueueWaitSeconds, TotalCompileSeconds);
@@ -70,6 +78,18 @@ CompileEngine::CompileEngine(const MachineDescription &MD,
     OwnedCache = std::make_unique<ScheduleCache>(this->EOpts.CacheCapacity);
     Cache = OwnedCache.get();
   }
+  if (EOpts.SharedDisk) {
+    Disk = EOpts.SharedDisk;
+  } else if (!this->EOpts.CacheDir.empty()) {
+    OwnedDisk =
+        std::make_unique<persist::DiskScheduleCache>(this->EOpts.CacheDir);
+    // A failed open degrades the tier to memory-only; the status is
+    // recorded in the disk cache's diagnostics and surfaced per batch.
+    // Callers that want fail-fast semantics probe before building the
+    // engine (gisc --cache-dir).
+    OwnedDisk->open();
+    Disk = OwnedDisk.get();
+  }
   MachineFp = fingerprintMachine(MD);
   OptionsFp = fingerprintOptions(Opts);
 }
@@ -87,7 +107,19 @@ EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
   // oracle's view of sibling functions) bypass it.
   const bool CacheOn =
       EOpts.UseCache && !Opts.Profile && !Opts.EnableOracle;
+  // The disk tier additionally skips decision-log runs: decision logs are
+  // not persisted (a disk hit must replay stats faithfully or not at all;
+  // see persist::DiskScheduleCache::insert), so disk lookups under
+  // CollectDecisions could only ever miss.
+  const bool DiskOn = CacheOn && Disk && !Opts.CollectDecisions;
   const bool ModuleGranularity = Opts.EnableOracle;
+
+  // Attribute only this batch's disk traffic to the report and the
+  // counters registry (the disk cache's own stats are lifetime-scoped and
+  // may be shared with other engines).
+  const persist::DiskCacheStats DiskBefore =
+      DiskOn ? Disk->stats() : persist::DiskCacheStats{};
+  const size_t DiskDiagsBefore = DiskOn ? Disk->diagnostics().size() : 0;
 
   // Flatten the batch into work units and pre-size the result slots, so
   // workers write disjoint elements and the report ends up in input order
@@ -139,8 +171,21 @@ EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
           R.CompileSeconds = secondsSince(Start);
           continue;
         }
+        if (DiskOn && Disk->lookup(Key, F, R.Stats)) {
+          R.CacheHit = true;
+          R.DiskHit = true;
+          // Promote into the memory tier so repeats within this process
+          // skip the filesystem.
+          Cache->insert(Key, F, R.Stats);
+          Tr.instant("disk-cache-hit", "engine", "slot",
+                     static_cast<int64_t>(Unit.Slots[K]));
+          R.CompileSeconds = secondsSince(Start);
+          continue;
+        }
         R.Stats = schedulePipeline(F, MD, UnitOpts);
         Cache->insert(Key, F, R.Stats);
+        if (DiskOn)
+          Disk->insert(Key, F, R.Stats);
       } else {
         PipelineOptions FnOpts = UnitOpts;
         if (FnOpts.EnableOracle && !FnOpts.OracleModule)
@@ -172,15 +217,50 @@ EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
       ++Report.CacheHits;
     else
       ++Report.CacheMisses;
+    if (R.DiskHit)
+      ++Report.DiskHits;
+    else if (DiskOn && !R.CacheHit)
+      ++Report.DiskMisses; // a full compile implies a disk miss first
     Report.TotalQueueWaitSeconds += R.QueueWaitSeconds;
     Report.TotalCompileSeconds += R.CompileSeconds;
     Report.Aggregate += R.Stats;
   }
+
+  // Cache snapshots for the report (lifetime-scoped when shared).
+  Report.MemCache = Cache->stats();
+  Report.MemShards = Cache->shardStats();
+  Report.MemCacheSize = Cache->size();
+  Report.MemCacheCapacity = Cache->capacity();
+  if (Disk) {
+    Report.DiskEnabled = true;
+    Report.Disk = Disk->stats();
+  }
+  // Persist-layer degradations and quarantines observed during this batch
+  // join the aggregate diagnostics, so --stats and --stats-json surface
+  // them through the established channel.
+  if (DiskOn) {
+    std::vector<Diagnostic> DiskDiags = Disk->diagnostics();
+    Report.Aggregate.Diags.insert(Report.Aggregate.Diags.end(),
+                                  DiskDiags.begin() + DiskDiagsBefore,
+                                  DiskDiags.end());
+  }
+
   // Cache traffic lives at the engine layer, not in any one pipeline run,
   // so it enters the merged registry here (after the deterministic merge).
   if (Opts.CollectCounters) {
     Report.Aggregate.Counters.bump(obs::CacheHits, Report.CacheHits);
     Report.Aggregate.Counters.bump(obs::CacheMisses, Report.CacheMisses);
+    if (DiskOn) {
+      Report.Aggregate.Counters.bump(obs::PersistDiskHits, Report.DiskHits);
+      Report.Aggregate.Counters.bump(obs::PersistDiskMisses,
+                                     Report.DiskMisses);
+      Report.Aggregate.Counters.bump(
+          obs::PersistQuarantines,
+          Report.Disk.Quarantines - DiskBefore.Quarantines);
+      Report.Aggregate.Counters.bump(
+          obs::PersistWriteFailures,
+          Report.Disk.WriteFailures - DiskBefore.WriteFailures);
+    }
   }
   Report.WallSeconds = secondsSince(WallStart);
   return Report;

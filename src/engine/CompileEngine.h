@@ -31,6 +31,7 @@
 #include "engine/ScheduleCache.h"
 #include "ir/Module.h"
 #include "machine/MachineDescription.h"
+#include "persist/DiskCache.h"
 #include "sched/Pipeline.h"
 
 #include <memory>
@@ -54,6 +55,16 @@ struct EngineOptions {
   /// Optional externally-owned cache, for reuse across batches/engines;
   /// the engine creates its own when null.
   ScheduleCache *SharedCache = nullptr;
+  /// Directory of the persistent disk tier (persist/DiskCache.h); empty
+  /// disables it.  The disk tier sits behind the memory tier: a disk hit
+  /// is promoted into the memory cache, a compile is published to both.
+  /// I/O failures degrade the engine to memory-only (never an abort); use
+  /// persist::DiskScheduleCache::open() directly to fail fast instead
+  /// (gisc does, at --cache-dir validation time).
+  std::string CacheDir;
+  /// Optional externally-owned disk cache (the serve daemon shares one
+  /// across requests); the engine opens its own from CacheDir when null.
+  persist::DiskScheduleCache *SharedDisk = nullptr;
 };
 
 /// One batch entry: a borrowed module plus a display name for reports.
@@ -67,6 +78,8 @@ struct FunctionCompileResult {
   std::string Item;     ///< BatchItem::Name
   std::string Function;
   bool CacheHit = false;
+  /// The hit was served by the disk tier (subset of CacheHit).
+  bool DiskHit = false;
   double QueueWaitSeconds = 0;   ///< submit -> start of work
   double CompileSeconds = 0;     ///< schedule (or cache-serve) time
   PipelineStats Stats;
@@ -77,13 +90,29 @@ struct FunctionCompileResult {
 struct EngineReport {
   unsigned Threads = 1;
   unsigned FunctionsCompiled = 0;
-  uint64_t CacheHits = 0;
+  uint64_t CacheHits = 0; ///< memory + disk tier hits
   uint64_t CacheMisses = 0;
+  /// Hits served by the disk tier (subset of CacheHits), and the disk
+  /// lookups that went on to a full compile.
+  uint64_t DiskHits = 0;
+  uint64_t DiskMisses = 0;
   double WallSeconds = 0;
   double TotalQueueWaitSeconds = 0;
   double TotalCompileSeconds = 0;
   PipelineStats Aggregate;
   std::vector<FunctionCompileResult> PerFunction;
+
+  /// Memory-cache view after the batch (lifetime counters when the cache
+  /// is shared across batches/engines), including per-shard occupancy so
+  /// disk-vs-memory hit attribution is debuggable (--stats-json).
+  ScheduleCacheStats MemCache;
+  std::vector<ShardOccupancy> MemShards;
+  size_t MemCacheSize = 0;
+  size_t MemCacheCapacity = 0;
+  /// Disk-tier view after the batch; DiskEnabled is false when no
+  /// EngineOptions::CacheDir/SharedDisk was configured.
+  bool DiskEnabled = false;
+  persist::DiskCacheStats Disk;
 
   double cacheHitRate() const {
     uint64_t Total = CacheHits + CacheMisses;
@@ -118,6 +147,9 @@ public:
   /// The cache serving this engine (shared or internally owned).
   ScheduleCache &cache() { return *Cache; }
 
+  /// The disk tier, or null when none is configured.
+  persist::DiskScheduleCache *diskCache() { return Disk; }
+
   unsigned jobs() const { return EOpts.Jobs; }
 
 private:
@@ -126,6 +158,8 @@ private:
   EngineOptions EOpts;
   std::unique_ptr<ScheduleCache> OwnedCache;
   ScheduleCache *Cache = nullptr;
+  std::unique_ptr<persist::DiskScheduleCache> OwnedDisk;
+  persist::DiskScheduleCache *Disk = nullptr;
   uint64_t MachineFp = 0;
   uint64_t OptionsFp = 0;
 };

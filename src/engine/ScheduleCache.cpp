@@ -132,6 +132,7 @@ void ScheduleCache::insert(const Key128 &Key, const Function &F,
   while (ShardCap && S.Lru.size() > ShardCap) {
     S.Map.erase(S.Lru.back().Key);
     S.Lru.pop_back();
+    ++S.Evictions;
     Evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -143,6 +144,16 @@ size_t ScheduleCache::size() const {
     N += S->Lru.size();
   }
   return N;
+}
+
+std::vector<ShardOccupancy> ScheduleCache::shardStats() const {
+  std::vector<ShardOccupancy> R;
+  R.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    R.push_back(ShardOccupancy{S->Lru.size(), S->Evictions});
+  }
+  return R;
 }
 
 ScheduleCacheStats ScheduleCache::stats() const {

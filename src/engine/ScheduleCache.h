@@ -52,6 +52,14 @@ struct ScheduleCacheStats {
   }
 };
 
+/// Point-in-time view of one shard, for hit attribution and eviction
+/// debugging (--stats-json "cache.shards").  Entries is current occupancy;
+/// Evictions is monotonic over the shard's lifetime.
+struct ShardOccupancy {
+  size_t Entries = 0;
+  uint64_t Evictions = 0;
+};
+
 /// Stable fingerprint of a machine description: name, unit types and
 /// counts, per-opcode unit map and exec times, delay rules.
 uint64_t fingerprintMachine(const MachineDescription &MD);
@@ -87,7 +95,10 @@ public:
 
   size_t size() const;
   size_t capacity() const { return Capacity; }
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
   ScheduleCacheStats stats() const;
+  /// Per-shard occupancy and eviction counts, indexed by shard.
+  std::vector<ShardOccupancy> shardStats() const;
   void clear();
 
 private:
@@ -105,6 +116,8 @@ private:
     /// LRU order, most recent first; map values point into the list.
     std::list<Entry> Lru;
     std::unordered_map<Key128, std::list<Entry>::iterator, Key128Hash> Map;
+    /// Entries this shard evicted over its lifetime (under Mu).
+    uint64_t Evictions = 0;
   };
 
   Shard &shardFor(const Key128 &Key) {

@@ -38,6 +38,13 @@ constexpr CounterInfo Infos[NumCounters] = {
     {"regalloc.spill_stores", "spill stores emitted"},
     {"regalloc.spill_reloads", "spill reloads emitted"},
     {"regalloc.failures", "allocation attempts rolled back"},
+    {"persist.disk_hits", "disk-cache entries served"},
+    {"persist.disk_misses", "disk-cache lookups missed"},
+    {"persist.quarantines", "corrupt disk entries quarantined"},
+    {"persist.write_failures", "disk entry writes failed"},
+    {"serve.accepted", "daemon requests admitted"},
+    {"serve.shed", "daemon requests shed (queue full)"},
+    {"serve.timeouts", "daemon requests past deadline"},
 };
 
 } // namespace

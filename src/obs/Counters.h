@@ -75,6 +75,17 @@ enum class CounterId : unsigned {
   RegAllocSpillReloads,     ///< RELOAD/RELOADF instructions emitted
   RegAllocFailures,         ///< allocation attempts rolled back
 
+  // Persistent (disk-backed) schedule cache (persist/DiskCache.h).
+  PersistDiskHits,      ///< entries served from the cache directory
+  PersistDiskMisses,    ///< disk lookups that found no usable entry
+  PersistQuarantines,   ///< corrupt/skewed entries quarantined on load
+  PersistWriteFailures, ///< entry writes that failed (degradation trigger)
+
+  // Compile daemon (persist/Server.h; gisc --serve).
+  ServeAccepted, ///< requests admitted to the queue
+  ServeShed,     ///< requests rejected because the queue was full
+  ServeTimeouts, ///< requests whose deadline expired before compile
+
   NumCounters
 };
 
@@ -108,6 +119,14 @@ inline constexpr CounterId RegAllocSpillStores =
 inline constexpr CounterId RegAllocSpillReloads =
     CounterId::RegAllocSpillReloads;
 inline constexpr CounterId RegAllocFailures = CounterId::RegAllocFailures;
+inline constexpr CounterId PersistDiskHits = CounterId::PersistDiskHits;
+inline constexpr CounterId PersistDiskMisses = CounterId::PersistDiskMisses;
+inline constexpr CounterId PersistQuarantines = CounterId::PersistQuarantines;
+inline constexpr CounterId PersistWriteFailures =
+    CounterId::PersistWriteFailures;
+inline constexpr CounterId ServeAccepted = CounterId::ServeAccepted;
+inline constexpr CounterId ServeShed = CounterId::ServeShed;
+inline constexpr CounterId ServeTimeouts = CounterId::ServeTimeouts;
 
 /// Stable machine-readable key of a counter ("motion.useful", "rule.delay_useful", ...).
 std::string_view counterKey(CounterId Id);

@@ -142,9 +142,40 @@ void obs::writeEngineReportJson(std::ostream &OS, const EngineReport &R) {
     W.field("functions_compiled", static_cast<uint64_t>(R.FunctionsCompiled));
     W.field("cache_hits", R.CacheHits);
     W.field("cache_misses", R.CacheMisses);
+    W.field("disk_hits", R.DiskHits);
+    W.field("disk_misses", R.DiskMisses);
     W.fieldF("wall_seconds", R.WallSeconds);
     W.fieldF("total_queue_wait_seconds", R.TotalQueueWaitSeconds);
     W.fieldF("total_compile_seconds", R.TotalCompileSeconds);
+  }
+  // Memory-tier view with per-shard occupancy/evictions, so hit
+  // attribution between the tiers is debuggable from the JSON alone.
+  OS << "\n  },\n  \"cache\": {";
+  {
+    ObjectWriter W(OS, "    ");
+    W.field("size", R.MemCacheSize);
+    W.field("capacity", R.MemCacheCapacity);
+    W.field("hits", R.MemCache.Hits);
+    W.field("misses", R.MemCache.Misses);
+    W.field("insertions", R.MemCache.Insertions);
+    W.field("evictions", R.MemCache.Evictions);
+    W.key("shards") << "[";
+    for (size_t K = 0; K != R.MemShards.size(); ++K)
+      OS << (K ? ", " : "") << "{\"entries\": " << R.MemShards[K].Entries
+         << ", \"evictions\": " << R.MemShards[K].Evictions << "}";
+    OS << "]";
+  }
+  OS << "\n  },\n  \"persist\": {";
+  {
+    ObjectWriter W(OS, "    ");
+    W.fieldBool("enabled", R.DiskEnabled);
+    W.fieldBool("degraded", R.Disk.Degraded);
+    W.field("disk_hits", R.Disk.Hits);
+    W.field("disk_misses", R.Disk.Misses);
+    W.field("inserts", R.Disk.Inserts);
+    W.field("quarantines", R.Disk.Quarantines);
+    W.field("write_failures", R.Disk.WriteFailures);
+    W.field("read_failures", R.Disk.ReadFailures);
   }
   OS << "\n  },\n  \"pipeline\": ";
   writePipelineFields(OS, R.Aggregate, "    ");
@@ -158,6 +189,7 @@ void obs::writeEngineReportJson(std::ostream &OS, const EngineReport &R) {
     W.fieldStr("item", F.Item);
     W.fieldStr("function", F.Function);
     W.fieldBool("cache_hit", F.CacheHit);
+    W.fieldBool("disk_hit", F.DiskHit);
     W.fieldF("compile_seconds", F.CompileSeconds);
     OS << "\n    }";
   }

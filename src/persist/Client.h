@@ -1,0 +1,74 @@
+//===- persist/Client.h - Retrying compile-daemon client --------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `gisc --client` side of the compile daemon (persist/Server.h): one
+/// connection per request with retry on the *transient* failure modes --
+/// connect refusal (daemon restarting) and `SHED` (queue full) -- using
+/// exponential backoff with jitter, so a thundering herd of shed clients
+/// decorrelates instead of re-arriving in lockstep.  `TIMEOUT` and `ERR`
+/// are not retried: the former means the deadline budget is already
+/// spent, the latter is deterministic (same source, same error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_PERSIST_CLIENT_H
+#define GIS_PERSIST_CLIENT_H
+
+#include "persist/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gis {
+namespace persist {
+
+struct ClientOptions {
+  std::string SocketPath;
+  /// Reconnect/re-send attempts after the first try (connect failure and
+  /// SHED only).
+  unsigned Retries = 4;
+  /// Backoff before retry K is BackoffBaseMs * 2^K plus jitter of up to
+  /// one base unit, capped at BackoffMaxMs.  A SHED response's retry hint
+  /// raises the floor.
+  unsigned BackoffBaseMs = 25;
+  unsigned BackoffMaxMs = 2000;
+};
+
+/// What the daemon (or the transport) answered.
+enum class ResponseKind {
+  Ok,            ///< compiled; Text holds the scheduled module
+  Shed,          ///< queue full on every attempt
+  Timeout,       ///< deadline expired while queued
+  Error,         ///< daemon-reported error; Text holds the message
+  ConnectFailed, ///< could not reach the socket on any attempt
+  ProtocolError, ///< malformed/truncated response frame
+};
+
+struct CompileResponse {
+  ResponseKind Kind = ResponseKind::ConnectFailed;
+  std::string Text;
+  uint64_t MemHits = 0;
+  uint64_t DiskHits = 0;
+  uint64_t Misses = 0;
+  unsigned Attempts = 0; ///< connections tried (>= 1 once the socket exists)
+};
+
+/// Sends one COMPILE request, retrying per \p Opts.
+CompileResponse compileOverSocket(const ClientOptions &Opts,
+                                  const CompileRequest &Req);
+
+/// Sends PING (no retry).  Ok iff the daemon answered PONG.
+Status pingServer(const std::string &SocketPath);
+
+/// Sends STATS (no retry); \p Json receives the daemon's stats blob.
+Status fetchServerStats(const std::string &SocketPath, std::string &Json);
+
+} // namespace persist
+} // namespace gis
+
+#endif // GIS_PERSIST_CLIENT_H

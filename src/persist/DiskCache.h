@@ -1,0 +1,137 @@
+//===- persist/DiskCache.h - Crash-safe persistent schedule cache -*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disk tier of the content-addressed schedule cache: one file per
+/// entry under a cache directory, keyed by the same 128-bit
+/// IR+machine+options fingerprint as the in-memory ScheduleCache, so warm
+/// state survives process restarts and is shared between concurrent engine
+/// processes.
+///
+/// The trust model is asymmetric.  A *missing* entry costs one reschedule;
+/// a *wrong* entry silently miscompiles.  So every load is validated --
+/// magic, format version, declared lengths, 128-bit payload checksum, and
+/// that the entry's embedded key matches the file it was found under --
+/// and any entry failing any check is quarantined (moved aside) and
+/// reported as a miss.  Version skew is corruption by definition: a newer
+/// or older writer's entries never parse as current ones.
+///
+/// Failure ladder (never an abort):
+///   disk        -- normal operation
+///   memory-only -- any I/O failure (ENOSPC, EACCES, vanished directory)
+///                  flips the cache to degraded: lookups and inserts become
+///                  no-ops, one Diagnostic records why
+///   cold        -- the caller did not configure a directory at all
+///
+/// Atomicity: entries are published with temp-file + rename
+/// (persist/PersistIO.h), so concurrent writers are last-writer-wins on
+/// byte-identical content and readers never observe a partial write from a
+/// *live* writer.  Torn files only exist after a crash mid-durability, and
+/// the checksum turns those into quarantines, not wrong hits.
+///
+/// Thread safety: all public members are safe to call concurrently; the
+/// mutable state (stats, degraded flag, diagnostics) is internally
+/// synchronized and file operations are atomic at the filesystem level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_PERSIST_DISKCACHE_H
+#define GIS_PERSIST_DISKCACHE_H
+
+#include "ir/Function.h"
+#include "sched/Pipeline.h"
+#include "support/Hashing.h"
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gis {
+namespace persist {
+
+/// On-disk entry format version.  Bump on any layout or payload change;
+/// old entries are then quarantined on first touch, never misread.
+constexpr unsigned DiskCacheFormatVersion = 1;
+
+/// Running counters of one disk-cache instance.
+struct DiskCacheStats {
+  uint64_t Hits = 0;          ///< entries served from disk
+  uint64_t Misses = 0;        ///< lookups that found no usable entry
+  uint64_t Inserts = 0;       ///< entries published
+  uint64_t Quarantines = 0;   ///< corrupt/skewed entries moved aside
+  uint64_t WriteFailures = 0; ///< failed publishes (degradation trigger)
+  uint64_t ReadFailures = 0;  ///< failed reads (degradation trigger)
+  bool Degraded = false;      ///< memory-only fallback active
+};
+
+/// The disk tier.  Construct, then open(); a failed open leaves the cache
+/// permanently degraded (all operations become no-ops) rather than broken.
+class DiskScheduleCache {
+public:
+  explicit DiskScheduleCache(std::string Dir);
+
+  /// Creates the directory if missing and probes writability.  On failure
+  /// the cache degrades and the status says why; the caller chooses
+  /// whether that is fatal (gisc --cache-dir at startup: yes, exit 3) or
+  /// survivable (mid-run: keep compiling memory-only).
+  Status open();
+
+  /// True when open() succeeded and no later I/O failure degraded us.
+  bool usable() const;
+
+  const std::string &directory() const { return Dir; }
+
+  /// Loads the entry for \p Key into \p F / \p Stats.  Returns true on a
+  /// validated hit.  Corrupt entries are quarantined and count as misses;
+  /// I/O failures degrade the cache and count as misses.
+  bool lookup(const Key128 &Key, Function &F, PipelineStats &Stats);
+
+  /// Publishes the result of scheduling under \p Key.  Entries whose stats
+  /// carry non-persistable payloads (diagnostics, decision logs) are
+  /// skipped: a disk hit must replay stats faithfully or not at all.
+  void insert(const Key128 &Key, const Function &F,
+              const PipelineStats &Stats);
+
+  DiskCacheStats stats() const;
+
+  /// Diagnostics accumulated by degradations and quarantines, in
+  /// occurrence order (bounded: one per degradation cause plus one per
+  /// quarantined file).
+  std::vector<Diagnostic> diagnostics() const;
+
+  /// The entry file name of \p Key: 32 lowercase hex digits + ".gse".
+  static std::string entryFileName(const Key128 &Key);
+
+  /// Serializes one entry (header + IR text + stats block + checksum).
+  /// Exposed for tests that need to craft skewed/corrupt entries.
+  static std::string serializeEntry(const Key128 &Key, const Function &F,
+                                    const PipelineStats &Stats,
+                                    unsigned Version = DiskCacheFormatVersion);
+
+  /// Validates and deserializes \p Bytes into \p F / \p Stats.  On failure
+  /// returns CacheEntryCorrupt with a reason usable as a quarantine tag.
+  static Status deserializeEntry(const std::string &Bytes, const Key128 &Key,
+                                 Function &F, PipelineStats &Stats);
+
+private:
+  void degrade(const Status &Why, const char *Op);
+  void quarantine(const std::string &FileName, const std::string &Reason,
+                  const std::string &Detail);
+
+  std::string Dir;
+
+  mutable std::mutex Mu;
+  bool Opened = false;
+  bool Degraded = true; ///< until open() succeeds
+  DiskCacheStats Counts;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace persist
+} // namespace gis
+
+#endif // GIS_PERSIST_DISKCACHE_H

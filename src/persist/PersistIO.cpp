@@ -1,0 +1,160 @@
+//===- persist/PersistIO.cpp - Fault-injectable file I/O -------------------===//
+
+#include "persist/PersistIO.h"
+
+#include "support/FaultInjection.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace gis;
+using namespace gis::persist;
+
+namespace {
+
+Status ioError(const std::string &What, const std::string &Path, int Err) {
+  return Status::error(ErrorCode::PersistIOFailed,
+                       What + " " + Path + ": " + std::strerror(Err));
+}
+
+/// Process-unique temp-name counter; combined with the pid so two engine
+/// processes sharing one cache directory never collide on temp names.
+std::atomic<uint64_t> TempCounter{0};
+
+/// Writes all of \p Bytes to \p Fd, honouring the persist-write and
+/// persist-truncate fault stages.  A truncate fault writes half the bytes
+/// and reports success: the caller then fsyncs and renames a torn file,
+/// simulating a crash after publish but before data durability.
+Status writeAllFaulty(int Fd, const std::string &Path,
+                      const std::string &Bytes) {
+  if (FaultInjector::instance().shouldFire("persist-write"))
+    return ioError("write", Path, ENOSPC);
+  size_t Len = Bytes.size();
+  if (FaultInjector::instance().shouldFire("persist-truncate"))
+    Len /= 2;
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioError("write", Path, errno);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+Status persist::ensureDir(const std::string &Dir) {
+  if (::mkdir(Dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat St;
+    if (::stat(Dir.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+      return Status::ok();
+    return ioError("not a directory:", Dir, ENOTDIR);
+  }
+  return ioError("mkdir", Dir, errno);
+}
+
+Status persist::probeWritable(const std::string &Dir) {
+  std::string Probe = Dir + "/.probe-" + std::to_string(::getpid()) + "-" +
+                      std::to_string(TempCounter.fetch_add(1));
+  int Fd = ::open(Probe.c_str(), O_CREAT | O_WRONLY | O_EXCL, 0644);
+  if (Fd < 0)
+    return ioError("create probe in", Dir, errno);
+  ::close(Fd);
+  ::unlink(Probe.c_str());
+  return Status::ok();
+}
+
+Status persist::atomicWriteFile(const std::string &Dir,
+                                const std::string &FileName,
+                                const std::string &Bytes) {
+  std::string Temp = Dir + "/.tmp-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(TempCounter.fetch_add(1));
+  std::string Final = Dir + "/" + FileName;
+
+  int Fd = ::open(Temp.c_str(), O_CREAT | O_WRONLY | O_EXCL, 0644);
+  if (Fd < 0)
+    return ioError("create", Temp, errno);
+
+  Status S = writeAllFaulty(Fd, Temp, Bytes);
+  if (S.isOk() && ::fsync(Fd) != 0)
+    S = ioError("fsync", Temp, errno);
+  if (::close(Fd) != 0 && S.isOk())
+    S = ioError("close", Temp, errno);
+  if (S.isOk() && FaultInjector::instance().shouldFire("persist-rename"))
+    S = ioError("rename", Final, EIO);
+  if (S.isOk() && ::rename(Temp.c_str(), Final.c_str()) != 0)
+    S = ioError("rename", Final, errno);
+  if (!S.isOk())
+    ::unlink(Temp.c_str()); // best effort; never leave the temp on failure
+  return S;
+}
+
+Status persist::readFile(const std::string &Path, std::string &Out,
+                         bool &Exists) {
+  Out.clear();
+  Exists = false;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0) {
+    if (errno == ENOENT)
+      return Status::ok();
+    return ioError("open", Path, errno);
+  }
+  Exists = true;
+  if (FaultInjector::instance().shouldFire("persist-read")) {
+    ::close(Fd);
+    return ioError("read", Path, EIO);
+  }
+  char Buf[1 << 16];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int Err = errno;
+      ::close(Fd);
+      return ioError("read", Path, Err);
+    }
+    if (N == 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  return Status::ok();
+}
+
+Status persist::quarantineFile(const std::string &Dir,
+                               const std::string &FileName,
+                               const std::string &Reason) {
+  std::string From = Dir + "/" + FileName;
+  std::string QDir = Dir + "/quarantine";
+  Status S = ensureDir(QDir);
+  if (S.isOk()) {
+    // Tag with pid+counter: two processes quarantining the same entry (or
+    // one entry corrupted twice across restarts) must not collide.
+    std::string To = QDir + "/" + FileName + "." + Reason + "." +
+                     std::to_string(::getpid()) + "-" +
+                     std::to_string(TempCounter.fetch_add(1));
+    if (::rename(From.c_str(), To.c_str()) == 0)
+      return Status::ok();
+    S = ioError("quarantine rename", From, errno);
+  }
+  // The move failed; removing the entry still guarantees the next lookup
+  // will not trip over the same corruption.
+  ::unlink(From.c_str());
+  return S;
+}
+
+void persist::removeFile(const std::string &Path) {
+  ::unlink(Path.c_str());
+}

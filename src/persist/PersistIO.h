@@ -1,0 +1,74 @@
+//===- persist/PersistIO.h - Fault-injectable file I/O ----------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The filesystem primitives of the persistent schedule cache, factored
+/// out so every operation the cache performs is (a) atomic where the
+/// format needs it and (b) reachable by the GIS_FAULT_INJECT machinery.
+///
+/// Atomicity: atomicWriteFile writes to a process-unique temp name in the
+/// destination directory, fsyncs, and publishes with rename(2).  Readers
+/// therefore see either no file or a complete file -- never a prefix --
+/// unless the host crashed between write and fsync completion, which is
+/// exactly the torn-write case the "persist-truncate" fault stage
+/// simulates and the cache's checksum catches.
+///
+/// Fault stages (support/FaultInjection.h, GIS_FAULT_INJECT="<stage>[:<n>]"):
+///   persist-write     Nth entry write fails as if the disk were full
+///   persist-rename    Nth publish rename fails (temp file left behind)
+///   persist-read      Nth entry read fails mid-I/O
+///   persist-truncate  Nth write persists only half its bytes and then
+///                     "succeeds" -- a simulated crash between write and
+///                     durability, i.e. a torn entry on the next boot
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_PERSIST_PERSISTIO_H
+#define GIS_PERSIST_PERSISTIO_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace gis {
+namespace persist {
+
+/// Creates \p Dir (one level; parents must exist) if missing.
+Status ensureDir(const std::string &Dir);
+
+/// Verifies \p Dir accepts new files by creating and removing a probe
+/// file.  The cheap, honest writability test: faccessat(2) lies under
+/// fancy mount/ACL configurations, creat(2) does not.
+Status probeWritable(const std::string &Dir);
+
+/// Writes \p Bytes to \p Dir/\p FileName atomically: temp file + fsync +
+/// rename.  On any failure the temp file is removed (best effort) and the
+/// destination is untouched.  Subject to the persist-write,
+/// persist-truncate and persist-rename fault stages.
+Status atomicWriteFile(const std::string &Dir, const std::string &FileName,
+                       const std::string &Bytes);
+
+/// Reads all of \p Path into \p Out.  A missing file is not an error:
+/// returns Ok with \p Exists = false.  Subject to the persist-read fault
+/// stage.
+Status readFile(const std::string &Path, std::string &Out, bool &Exists);
+
+/// Moves \p Path into the "quarantine" subdirectory of \p Dir (created on
+/// demand), tagging the name with \p Reason.  Falls back to removing the
+/// file when the move fails (e.g. a concurrent process quarantined it
+/// first); the one unacceptable outcome is leaving a corrupt entry where
+/// the next lookup would re-read it.
+Status quarantineFile(const std::string &Dir, const std::string &FileName,
+                      const std::string &Reason);
+
+/// Removes \p Path (best effort; missing file is fine).
+void removeFile(const std::string &Path);
+
+} // namespace persist
+} // namespace gis
+
+#endif // GIS_PERSIST_PERSISTIO_H

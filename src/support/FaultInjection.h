@@ -18,6 +18,12 @@
 /// occurrence of that stage to corrupt (default 1).  The fault fires once
 /// per arming.
 ///
+/// The persistent-cache I/O layer (persist/PersistIO.h) registers four
+/// more stages -- "persist-write", "persist-rename", "persist-read" and
+/// "persist-truncate" -- whose fault is an I/O failure (or a torn write)
+/// instead of IR corruption, so crash recovery of the disk cache is tested
+/// with the same deterministic fail-at-Nth machinery.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SUPPORT_FAULTINJECTION_H

@@ -24,6 +24,12 @@ const char *gis::errorCodeName(ErrorCode C) {
     return "fault-injected";
   case ErrorCode::RegAllocFailed:
     return "regalloc-failed";
+  case ErrorCode::PersistIOFailed:
+    return "persist-io-failed";
+  case ErrorCode::CacheEntryCorrupt:
+    return "cache-entry-corrupt";
+  case ErrorCode::ServeRejected:
+    return "serve-rejected";
   }
   return "unknown";
 }

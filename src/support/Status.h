@@ -51,6 +51,17 @@ enum class ErrorCode : uint8_t {
   /// one instruction needs more scratch registers than are reserved); the
   /// function keeps its symbolic registers.
   RegAllocFailed,
+  /// A filesystem operation of the persistent schedule cache failed
+  /// (ENOSPC, EACCES, missing directory, ...).  Always recoverable: the
+  /// cache degrades to memory-only (persist/DiskCache.h).
+  PersistIOFailed,
+  /// A persistent cache entry failed validation (short file, bad magic,
+  /// version skew, checksum or key mismatch, unparsable payload).  The
+  /// entry is quarantined and the lookup treated as a miss.
+  CacheEntryCorrupt,
+  /// The compile daemon rejected or failed a request (queue full, deadline
+  /// expired, malformed request); carried in serve-layer diagnostics.
+  ServeRejected,
 };
 
 /// Returns a short stable name for \p C ("ok", "scheduler-divergence", ...).
