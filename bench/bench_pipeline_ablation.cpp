@@ -61,6 +61,10 @@ std::vector<Config> configs() {
   PipelineOptions Dup = speculativeOptions();
   Dup.AllowDuplication = true;
   C.push_back({"+ duplication (ext)", Dup});
+
+  PipelineOptions Opt = speculativeOptions();
+  Opt.Opt.Level = 2;
+  C.push_back({"+ optimizer -O2", Opt});
   return C;
 }
 
@@ -268,12 +272,56 @@ void printObservabilityTable() {
                 DefaultOverhead);
 }
 
+// Compile-time cost of each mid-end optimizer pass at -O2, from the
+// OptStats::PassTimes records the pass manager keeps per committed or
+// rolled-back pass transaction.  Complements E12 (bench_opt.cpp), which
+// measures the run-time side of the same configuration.
+void printOptPassTable() {
+  MachineDescription MD = MachineDescription::rs6k();
+  PipelineOptions Opts = speculativeOptions();
+  Opts.Opt.Level = 2;
+
+  std::printf("\nE6b: per-pass optimizer compile time at -O2 "
+              "(milliseconds)\n");
+  rule(90);
+  std::printf("%-19s", "PASS");
+  for (const Workload &W : specLikeWorkloads())
+    std::printf("%12s", W.Name.c_str());
+  std::printf("%12s\n", "ALL");
+  rule(90);
+
+  std::array<std::vector<double>, opt::NumOptPasses> Times;
+  for (auto &T : Times)
+    T.assign(specLikeWorkloads().size(), 0.0);
+  for (size_t WK = 0; WK != specLikeWorkloads().size(); ++WK) {
+    auto M = compileMiniCOrDie(specLikeWorkloads()[WK].Source);
+    PipelineStats Stats = scheduleModule(*M, MD, Opts);
+    for (const opt::OptPassTime &PT : Stats.Opt.PassTimes)
+      Times[static_cast<unsigned>(PT.Pass)][WK] += PT.Seconds;
+  }
+  for (opt::PassId P : opt::passPipeline()) {
+    std::printf("%-19s", opt::passInfo(P).Name);
+    double Total = 0;
+    for (size_t WK = 0; WK != specLikeWorkloads().size(); ++WK) {
+      double Ms = Times[static_cast<unsigned>(P)][WK] * 1e3;
+      Total += Ms;
+      std::printf("%10.3fms", Ms);
+    }
+    std::printf("%10.3fms\n", Total);
+  }
+  rule(90);
+  std::printf("per-pass wall-clock includes the transactional wrapper "
+              "(checkpoint + verify);\nsee E7 for the wrapper's own "
+              "cost.\n");
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printPaperTable();
+  printOptPassTable();
   printTransactionTable();
   printObservabilityTable();
   return 0;

@@ -32,6 +32,9 @@
 //                                unusable DIR is a startup error with
 //                                exit code 3; I/O failures after startup
 //                                degrade to memory-only with a diagnostic
+//     --cache-dir-max-mb N       bound the cache directory to N MiB;
+//                                oldest entries are evicted at publish
+//                                time (0, the default: unbounded)
 //     --serve PATH               run as a compile daemon on Unix socket
 //                                PATH (no input files needed); SIGTERM or
 //                                SIGINT drains the queue and exits
@@ -46,6 +49,14 @@
 //                                with exponential backoff + jitter
 //                                (default 4)
 //
+//   mid-end optimizer (src/opt/):
+//     -O0 | -O1 | -O2            optimization level before scheduling
+//                                (default -O0: no passes; -O1: peephole +
+//                                dead-code; -O2: all passes)
+//     --opt-PASS --no-opt-PASS   force one pass on/off regardless of the
+//                                level (PASS: peephole, strength, gvn, dce)
+//     --list-passes              list the optimizer passes (pipeline
+//                                order, per-level enablement) and exit
 //   scheduling:
 //     --level none|useful|spec   global scheduling level (default spec)
 //     --spec-depth N             branches to gamble on (default 1)
@@ -106,6 +117,7 @@
 #include "machine/Timing.h"
 #include "obs/StatsJson.h"
 #include "obs/Trace.h"
+#include "opt/Pass.h"
 #include "persist/Client.h"
 #include "persist/PersistIO.h"
 #include "persist/Server.h"
@@ -134,6 +146,7 @@ struct CliOptions {
   /// applied after --machine so the order of the flags does not matter.
   std::array<int, 3> RegsOverride = {-1, -1, -1};
   bool ListMachines = false;
+  bool ListPasses = false;
   bool DumpIRBefore = false;
   bool DumpIR = false;
   bool DumpCFG = false;
@@ -155,6 +168,7 @@ struct CliOptions {
   bool Explain = false;
   /// Persistence and serving (src/persist/).
   std::string CacheDir;
+  uint64_t CacheDirMaxMb = 0; ///< 0: unbounded
   std::string ServePath;
   std::string ClientPath;
   unsigned ServeWorkers = 2;
@@ -188,8 +202,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     auto Next = [&]() -> const char * {
       return K + 1 < Argc ? Argv[++K] : nullptr;
     };
+    auto ParsePassToggle = [&](const std::string &Flag, bool On) {
+      for (opt::PassId P : opt::passPipeline())
+        if (Flag == opt::passInfo(P).Flag) {
+          Cli.Pipeline.Opt.force(P, On);
+          return true;
+        }
+      return false;
+    };
     if (A == "--asm") {
       Cli.InputIsAsm = true;
+    } else if (A == "-O0" || A == "-O1" || A == "-O2") {
+      Cli.Pipeline.Opt.Level = static_cast<unsigned>(A[2] - '0');
+    } else if (A.rfind("--opt-", 0) == 0) {
+      if (!ParsePassToggle(A.substr(6), true))
+        return false;
+    } else if (A.rfind("--no-opt-", 0) == 0) {
+      if (!ParsePassToggle(A.substr(9), false))
+        return false;
+    } else if (A == "--list-passes") {
+      Cli.ListPasses = true;
     } else if (A == "--level") {
       const char *V = Next();
       if (!V)
@@ -307,6 +339,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
         return false;
       Cli.CacheDir = V;
       Cli.EngineRequested = true; // the disk tier lives in the engine
+    } else if (A == "--cache-dir-max-mb") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      long long N = std::atoll(V);
+      if (N < 0)
+        return false;
+      Cli.CacheDirMaxMb = static_cast<uint64_t>(N);
     } else if (A == "--serve") {
       const char *V = Next();
       if (!V)
@@ -363,7 +403,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     if (Cli.RegsOverride[C] >= 0)
       Cli.Machine.setNumRegs(static_cast<RegClass>(C),
                              static_cast<unsigned>(Cli.RegsOverride[C]));
-  return Cli.ListMachines || !Cli.ServePath.empty() ||
+  return Cli.ListMachines || Cli.ListPasses || !Cli.ServePath.empty() ||
          !Cli.InputPaths.empty() || !Cli.BatchFiles.empty();
 }
 
@@ -497,6 +537,35 @@ int listMachines() {
   return 0;
 }
 
+/// One line of `--list-passes` per pass, in pipeline order (the order the
+/// pass manager runs them), mirroring --list-machines.
+int listPasses() {
+  std::cout << "optimizer passes (pipeline order; -O0 runs none):\n";
+  for (opt::PassId P : opt::passPipeline()) {
+    const opt::PassInfo &Info = opt::passInfo(P);
+    std::cout << "  " << Info.Name << ": " << Info.Description
+              << "\n    enabled at -O" << Info.MinLevel
+              << " and above; force with --opt-" << Info.Flag
+              << " / --no-opt-" << Info.Flag << "\n";
+  }
+  std::cout << "  (every pass runs under the same checkpoint/verify/"
+               "rollback transaction\n   as the scheduler's transforms; "
+               "see --stats opt lines)\n";
+  return 0;
+}
+
+/// The `--stats` optimizer lines shared by the single-file and engine
+/// paths; silent when no pass was enabled.
+void printOptStats(const PipelineStats &Stats, const PipelineOptions &Opts) {
+  if (!Opts.Opt.anyEnabled())
+    return;
+  std::cout << "  optimizer: " << Stats.Opt.PassesRun
+            << " pass run(s); peephole " << Stats.Opt.PeepholeRewrites
+            << ", strength " << Stats.Opt.StrengthReduced << ", gvn "
+            << Stats.Opt.ValuesNumbered << ", dce " << Stats.Opt.DeadRemoved
+            << "\n";
+}
+
 /// The `--stats` lines shared by the single-file and engine paths:
 /// scheduled-code pressure peaks and, with --regalloc, allocation totals.
 void printPressureAndRegAlloc(const PipelineStats &Stats, bool Allocated) {
@@ -541,6 +610,7 @@ int runEngineMode(const CliOptions &Cli,
   EOpts.Jobs = Cli.Jobs;
   EOpts.UseCache = Cli.UseCache;
   EOpts.CacheDir = Cli.CacheDir; // validated at startup (exit code 3)
+  EOpts.CacheDirMaxBytes = Cli.CacheDirMaxMb * 1024 * 1024;
   CompileEngine Engine(Cli.Machine, Cli.Pipeline, EOpts);
 
   std::vector<BatchItem> Batch;
@@ -576,6 +646,7 @@ int runEngineMode(const CliOptions &Cli,
                 << static_cast<long>(R.CompileSeconds * 1e6) << "us\n";
     for (const Diagnostic &D : Report.Aggregate.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
+    printOptStats(Report.Aggregate, Cli.Pipeline);
     printPressureAndRegAlloc(Report.Aggregate,
                              Cli.Pipeline.AllocateRegisters);
     if (Cli.Pipeline.CollectCounters)
@@ -609,6 +680,7 @@ int runServeMode(const CliOptions &Cli) {
   SO.QueueDepth = Cli.ServeQueue;
   SO.DefaultDeadlineMs = Cli.DeadlineMs;
   SO.CacheDir = Cli.CacheDir;
+  SO.CacheDirMaxBytes = Cli.CacheDirMaxMb * 1024 * 1024;
   persist::CompileServer Server(Cli.Machine, Cli.Pipeline, SO);
   if (Status S = Server.start(); !S.isOk()) {
     std::cerr << "gisc: --serve: " << S.str() << "\n";
@@ -698,6 +770,8 @@ int main(int argc, char **argv) {
   }
   if (Cli.ListMachines)
     return listMachines();
+  if (Cli.ListPasses)
+    return listPasses();
 
   // Validate --cache-dir up front with a distinct exit code: a typo'd or
   // unwritable directory is a configuration error the caller should see
@@ -812,6 +886,7 @@ int main(int argc, char **argv) {
                 << ": " << static_cast<long>(RT.Seconds * 1e6) << "us\n";
     for (const Diagnostic &D : Stats.Diags)
       std::cout << "  diagnostic: " << D.str() << "\n";
+    printOptStats(Stats, Cli.Pipeline);
     printPressureAndRegAlloc(Stats, Cli.Pipeline.AllocateRegisters);
     if (Cli.Pipeline.CollectCounters)
       printCounters(Stats.Counters);

@@ -32,7 +32,7 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): parallel + obs + regalloc + persist suites =="
+echo "== sanitized build (thread): parallel + obs + regalloc + persist + opt suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "parallel" label covers gis_parallel_tests: the batch engine, the
 # thread pool / cache / hashing units, and the region-parallel scheduling
@@ -47,7 +47,10 @@ build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # gis_persist_tests: the disk cache tier is written and read by engine
 # worker threads, the compile daemon runs an acceptor plus workers over
 # one shared cache, and two engines share a cache directory in-process.
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist'
+# The "opt" label covers gis_opt_tests: the optimizer suite drives
+# engines whose workers compile optimized modules concurrently and its
+# cache-isolation test shares memory and disk tiers across -O levels.
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist|opt'
 
 echo "== cross-process cache-dir sharing (two gisc processes, one directory) =="
 # Beyond the in-process test, run two real gisc processes concurrently

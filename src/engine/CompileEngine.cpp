@@ -81,8 +81,8 @@ CompileEngine::CompileEngine(const MachineDescription &MD,
   if (EOpts.SharedDisk) {
     Disk = EOpts.SharedDisk;
   } else if (!this->EOpts.CacheDir.empty()) {
-    OwnedDisk =
-        std::make_unique<persist::DiskScheduleCache>(this->EOpts.CacheDir);
+    OwnedDisk = std::make_unique<persist::DiskScheduleCache>(
+        this->EOpts.CacheDir, this->EOpts.CacheDirMaxBytes);
     // A failed open degrades the tier to memory-only; the status is
     // recorded in the disk cache's diagnostics and surfaced per batch.
     // Callers that want fail-fast semantics probe before building the
@@ -260,6 +260,9 @@ EngineReport CompileEngine::compileBatch(const std::vector<BatchItem> &Batch) {
       Report.Aggregate.Counters.bump(
           obs::PersistWriteFailures,
           Report.Disk.WriteFailures - DiskBefore.WriteFailures);
+      Report.Aggregate.Counters.bump(
+          obs::PersistEvictions,
+          Report.Disk.Evictions - DiskBefore.Evictions);
     }
   }
   Report.WallSeconds = secondsSince(WallStart);

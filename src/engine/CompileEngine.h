@@ -62,6 +62,10 @@ struct EngineOptions {
   /// persist::DiskScheduleCache::open() directly to fail fast instead
   /// (gisc does, at --cache-dir validation time).
   std::string CacheDir;
+  /// Size bound of the disk tier in bytes (0: unbounded); enforced by
+  /// oldest-entry eviction at publish time (gisc --cache-dir-max-mb).
+  /// Ignored for SharedDisk, which carries its own bound.
+  uint64_t CacheDirMaxBytes = 0;
   /// Optional externally-owned disk cache (the serve daemon shares one
   /// across requests); the engine opens its own from CacheDir when null.
   persist::DiskScheduleCache *SharedDisk = nullptr;

@@ -73,6 +73,13 @@ uint64_t gis::fingerprintOptions(const PipelineOptions &Opts) {
   // never replay a schedule compiled under different allocator settings.
   H.addBool(Opts.AllocateRegisters);
   H.addBool(Opts.RescheduleAfterAlloc);
+  // Mid-end optimizer: the *resolved* pass enablement is hashed, not the
+  // raw -O level, so "-O2" and "-O0 with every pass forced on" share
+  // entries (they run the identical pipeline) while -O0 and -O2 never
+  // collide -- in the memory tier and, through the same fingerprint, in
+  // the shared on-disk tier (asserted by tests/opt_test.cpp).
+  for (opt::PassId P : opt::passPipeline())
+    H.addBool(Opts.Opt.enabled(P));
   // RegionJobs is deliberately NOT part of the fingerprint: region-parallel
   // scheduling is bit-identical to sequential (see sched/Pipeline.h), so
   // cache entries are shared across --region-jobs values.  Asserted by

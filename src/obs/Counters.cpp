@@ -38,10 +38,16 @@ constexpr CounterInfo Infos[NumCounters] = {
     {"regalloc.spill_stores", "spill stores emitted"},
     {"regalloc.spill_reloads", "spill reloads emitted"},
     {"regalloc.failures", "allocation attempts rolled back"},
+    {"opt.passes_run", "optimizer pass transactions committed"},
+    {"opt.peephole_rewrites", "peephole rewrites applied"},
+    {"opt.strength_reduced", "multiplies/divides strength-reduced"},
+    {"opt.values_numbered", "redundant expressions removed by GVN"},
+    {"opt.dce_removed", "dead instructions removed"},
     {"persist.disk_hits", "disk-cache entries served"},
     {"persist.disk_misses", "disk-cache lookups missed"},
     {"persist.quarantines", "corrupt disk entries quarantined"},
     {"persist.write_failures", "disk entry writes failed"},
+    {"persist.evictions", "disk entries evicted (size bound)"},
     {"serve.accepted", "daemon requests admitted"},
     {"serve.shed", "daemon requests shed (queue full)"},
     {"serve.timeouts", "daemon requests past deadline"},

@@ -75,11 +75,19 @@ enum class CounterId : unsigned {
   RegAllocSpillReloads,     ///< RELOAD/RELOADF instructions emitted
   RegAllocFailures,         ///< allocation attempts rolled back
 
+  // Mid-end optimizer (src/opt/; gisc -O1/-O2).
+  OptPassesRun,         ///< optimizer pass transactions committed
+  OptPeepholeRewrites,  ///< peephole rewrites applied
+  OptStrengthReduced,   ///< multiplies/divides strength-reduced
+  OptValuesNumbered,    ///< redundant expressions removed by GVN
+  OptDceRemoved,        ///< dead instructions removed
+
   // Persistent (disk-backed) schedule cache (persist/DiskCache.h).
   PersistDiskHits,      ///< entries served from the cache directory
   PersistDiskMisses,    ///< disk lookups that found no usable entry
   PersistQuarantines,   ///< corrupt/skewed entries quarantined on load
   PersistWriteFailures, ///< entry writes that failed (degradation trigger)
+  PersistEvictions,     ///< disk entries evicted by the size bound
 
   // Compile daemon (persist/Server.h; gisc --serve).
   ServeAccepted, ///< requests admitted to the queue
@@ -119,11 +127,17 @@ inline constexpr CounterId RegAllocSpillStores =
 inline constexpr CounterId RegAllocSpillReloads =
     CounterId::RegAllocSpillReloads;
 inline constexpr CounterId RegAllocFailures = CounterId::RegAllocFailures;
+inline constexpr CounterId OptPassesRun = CounterId::OptPassesRun;
+inline constexpr CounterId OptPeepholeRewrites = CounterId::OptPeepholeRewrites;
+inline constexpr CounterId OptStrengthReduced = CounterId::OptStrengthReduced;
+inline constexpr CounterId OptValuesNumbered = CounterId::OptValuesNumbered;
+inline constexpr CounterId OptDceRemoved = CounterId::OptDceRemoved;
 inline constexpr CounterId PersistDiskHits = CounterId::PersistDiskHits;
 inline constexpr CounterId PersistDiskMisses = CounterId::PersistDiskMisses;
 inline constexpr CounterId PersistQuarantines = CounterId::PersistQuarantines;
 inline constexpr CounterId PersistWriteFailures =
     CounterId::PersistWriteFailures;
+inline constexpr CounterId PersistEvictions = CounterId::PersistEvictions;
 inline constexpr CounterId ServeAccepted = CounterId::ServeAccepted;
 inline constexpr CounterId ServeShed = CounterId::ServeShed;
 inline constexpr CounterId ServeTimeouts = CounterId::ServeTimeouts;

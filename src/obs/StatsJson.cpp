@@ -95,6 +95,11 @@ void writePipelineFields(std::ostream &OS, const PipelineStats &S,
   W.field("local_blocks_scheduled", S.Local.BlocksScheduled);
   W.field("local_blocks_reordered", S.Local.BlocksReordered);
   W.field("local_blocks_failed", S.Local.BlocksFailed);
+  W.field("opt_passes_run", S.Opt.PassesRun);
+  W.field("opt_peephole_rewrites", S.Opt.PeepholeRewrites);
+  W.field("opt_strength_reduced", S.Opt.StrengthReduced);
+  W.field("opt_values_numbered", S.Opt.ValuesNumbered);
+  W.field("opt_dce_removed", S.Opt.DeadRemoved);
   W.field("loops_unrolled", S.LoopsUnrolled);
   W.field("loops_rotated", S.LoopsRotated);
   W.field("prerenamed_defs", S.PreRenamedDefs);
@@ -176,6 +181,7 @@ void obs::writeEngineReportJson(std::ostream &OS, const EngineReport &R) {
     W.field("quarantines", R.Disk.Quarantines);
     W.field("write_failures", R.Disk.WriteFailures);
     W.field("read_failures", R.Disk.ReadFailures);
+    W.field("evictions", R.Disk.Evictions);
   }
   OS << "\n  },\n  \"pipeline\": ";
   writePipelineFields(OS, R.Aggregate, "    ");

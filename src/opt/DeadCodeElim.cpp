@@ -1,0 +1,70 @@
+//===- opt/DeadCodeElim.cpp - Dead code elimination ------------------------===//
+
+#include "opt/DeadCodeElim.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace gis;
+using namespace gis::opt;
+
+namespace {
+
+/// True if \p I may be removed once its defs are dead.
+bool isRemovable(const Instruction &I) {
+  if (I.opcode() == Opcode::NOP)
+    return true;
+  if (I.isTerminator() || I.isBranch() || I.isCall() || I.touchesMemory() ||
+      I.isSpillCode())
+    return false;
+  // The zero-divisor trap is observable even when the quotient is dead.
+  if (I.opcode() == Opcode::DIV || I.opcode() == Opcode::REM)
+    return false;
+  return !I.defs().empty();
+}
+
+} // namespace
+
+unsigned gis::opt::runDeadCodeElim(Function &F) {
+  unsigned Removed = 0;
+  while (true) {
+    Liveness L = Liveness::compute(F);
+    unsigned Round = 0;
+    for (BlockId B : F.layout()) {
+      std::unordered_set<uint32_t> Live;
+      for (Reg R : L.liveOutRegs(B))
+        Live.insert(R.key());
+
+      const std::vector<InstrId> &Old = F.block(B).instrs();
+      std::vector<InstrId> Kept;
+      Kept.reserve(Old.size());
+      for (size_t K = Old.size(); K != 0; --K) {
+        InstrId Id = Old[K - 1];
+        const Instruction &I = F.instr(Id);
+        bool AnyDefLive = false;
+        for (Reg D : I.defs())
+          if (Live.count(D.key())) {
+            AnyDefLive = true;
+            break;
+          }
+        if (isRemovable(I) && !AnyDefLive) {
+          ++Round;
+          continue;
+        }
+        for (Reg D : I.defs())
+          Live.erase(D.key());
+        for (Reg U : I.uses())
+          Live.insert(U.key());
+        Kept.push_back(Id);
+      }
+      std::reverse(Kept.begin(), Kept.end());
+      F.block(B).instrs() = std::move(Kept);
+    }
+    if (Round == 0)
+      break;
+    Removed += Round;
+  }
+  return Removed;
+}

@@ -1,0 +1,35 @@
+//===- opt/DeadCodeElim.h - Dead code elimination ---------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Liveness-driven dead code elimination: a pure computation whose defined
+/// registers are all dead after it -- not live out of the block and not
+/// read before the next redefinition -- is removed.  NOPs are always
+/// removed.  Instructions with observable effects survive unconditionally:
+/// memory accesses, calls, branches and terminators, spill code, and
+/// DIV/REM (their zero-divisor trap is observable behaviour).  Runs to a
+/// fixpoint, recomputing liveness after each sweep, so chains of dead
+/// computations unravel completely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OPT_DEADCODEELIM_H
+#define GIS_OPT_DEADCODEELIM_H
+
+#include "ir/Function.h"
+
+namespace gis {
+namespace opt {
+
+/// Runs DCE over \p F (CFG must be up to date); returns the number of
+/// instructions removed.
+unsigned runDeadCodeElim(Function &F);
+
+} // namespace opt
+} // namespace gis
+
+#endif // GIS_OPT_DEADCODEELIM_H

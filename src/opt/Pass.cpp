@@ -1,0 +1,39 @@
+//===- opt/Pass.cpp - Optimizer pass registry ------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "support/Assert.h"
+
+using namespace gis;
+using namespace gis::opt;
+
+namespace {
+
+// Indexed by PassId.  MinLevel policy: -O1 runs the cheap cleanup pair
+// (peephole + DCE); -O2 adds the latency-driven and dominator-tree passes.
+const PassInfo Infos[NumOptPasses] = {
+    {"peephole", "peephole", "opt-peephole",
+     "algebraic identities and constant folding", 1},
+    {"strength-reduce", "strength", "opt-strength",
+     "mul/div by constant into shifts and adds (machine-latency driven)", 2},
+    {"value-numbering", "gvn", "opt-gvn",
+     "dominator-scoped common-subexpression elimination", 2},
+    {"dead-code", "dce", "opt-dce",
+     "liveness-driven dead instruction removal", 1},
+};
+
+const std::array<PassId, NumOptPasses> Pipeline = {
+    PassId::Peephole, PassId::StrengthReduce, PassId::ValueNumbering,
+    PassId::DeadCode};
+
+} // namespace
+
+const PassInfo &gis::opt::passInfo(PassId P) {
+  unsigned Index = static_cast<unsigned>(P);
+  GIS_ASSERT(Index < NumOptPasses, "pass id out of range");
+  return Infos[Index];
+}
+
+const std::array<PassId, NumOptPasses> &gis::opt::passPipeline() {
+  return Pipeline;
+}

@@ -1,0 +1,59 @@
+//===- opt/Pass.h - Optimizer pass registry ---------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mid-end optimizer's pass roster.  The paper schedules IR the XL
+/// compiler had already optimized; src/opt/ recreates that stage so the
+/// scheduling experiments can run over cleaned-up blocks (see DESIGN.md
+/// section 13).  Every pass is identified by a PassId and described by a
+/// static PassInfo record: its CLI flag, its fault-injection stage name,
+/// and the lowest -O level that enables it.  The pipeline order is the
+/// enumerator order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OPT_PASS_H
+#define GIS_OPT_PASS_H
+
+#include <array>
+#include <cstdint>
+
+namespace gis {
+namespace opt {
+
+/// The registered passes, in pipeline order: simplify first (peephole),
+/// then expose cheaper forms (strength reduction), then remove redundant
+/// computations (value numbering), then sweep the dead code all three
+/// leave behind.
+enum class PassId : uint8_t {
+  Peephole,       ///< algebraic identities + constant folding
+  StrengthReduce, ///< mul/div-by-constant into shifts/adds
+  ValueNumbering, ///< GVN-lite CSE over the dominator tree
+  DeadCode,       ///< liveness-driven dead instruction removal
+};
+
+constexpr unsigned NumOptPasses = 4;
+
+/// Static description of one pass.
+struct PassInfo {
+  const char *Name;        ///< human name, e.g. "peephole"
+  const char *Flag;        ///< gisc toggle suffix: --opt-<Flag> / --no-opt-<Flag>
+  const char *Stage;       ///< fault-injection / trace stage, e.g. "opt-peephole"
+  const char *Description; ///< one-line summary for --list-passes
+  unsigned MinLevel;       ///< lowest -O level that enables the pass
+};
+
+/// Returns the static record of \p P.
+const PassInfo &passInfo(PassId P);
+
+/// The full roster in pipeline order.
+const std::array<PassId, NumOptPasses> &passPipeline();
+
+} // namespace opt
+} // namespace gis
+
+#endif // GIS_OPT_PASS_H

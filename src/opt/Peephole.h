@@ -1,0 +1,38 @@
+//===- opt/Peephole.h - Algebraic peephole pass -----------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local algebraic simplification and constant folding.  Tracks
+/// LI-defined constants through each block and rewrites instructions in
+/// place: fully-constant ALU operations fold to LI, identities (x+0,
+/// x<<0, x^x, ...) collapse to LR/LI, register compares against a known
+/// constant become immediate compares, and self-moves disappear.
+///
+/// All folding is done in two's-complement (uint64_t) arithmetic with
+/// shift amounts masked to 6 bits -- exactly the interpreter's semantics
+/// (interp/Interpreter.cpp), so the differential oracle cannot observe a
+/// folded value diverging.  DIV/REM are never folded or removed here:
+/// their trap on a zero divisor is an observable effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OPT_PEEPHOLE_H
+#define GIS_OPT_PEEPHOLE_H
+
+#include "ir/Function.h"
+
+namespace gis {
+namespace opt {
+
+/// Runs the peephole pass over \p F; returns the number of instructions
+/// rewritten or removed.
+unsigned runPeephole(Function &F);
+
+} // namespace opt
+} // namespace gis
+
+#endif // GIS_OPT_PEEPHOLE_H

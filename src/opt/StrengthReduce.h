@@ -1,0 +1,41 @@
+//===- opt/StrengthReduce.h - Strength reduction ----------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strength reduction of multiplies and divides by block-local constants,
+/// driven by the machine description's execution times: MUL by a power of
+/// two becomes a shift, MUL by 2^k +/- 1 becomes a shift plus an add or
+/// subtract (through a fresh register), and only when the replacement's
+/// summed latency actually beats the multiply on the target machine.
+/// Divides are only reduced in the always-safe cases (x/1, x%1): the
+/// arithmetic right shift rounds toward negative infinity while the
+/// machine's signed divide rounds toward zero, so x/2^k is deliberately
+/// left alone.
+///
+/// All rewrites are exact under the interpreter's wrapping two's-
+/// complement semantics (SL is a logical shift of the 64-bit pattern, so
+/// x << k == x * 2^k modulo 2^64).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OPT_STRENGTHREDUCE_H
+#define GIS_OPT_STRENGTHREDUCE_H
+
+#include "ir/Function.h"
+#include "machine/MachineDescription.h"
+
+namespace gis {
+namespace opt {
+
+/// Runs strength reduction over \p F against \p MD's latencies; returns
+/// the number of multiplies/divides reduced.
+unsigned runStrengthReduce(Function &F, const MachineDescription &MD);
+
+} // namespace opt
+} // namespace gis
+
+#endif // GIS_OPT_STRENGTHREDUCE_H

@@ -1,0 +1,203 @@
+//===- opt/ValueNumbering.cpp - Dominator-scoped CSE -----------------------===//
+
+#include "opt/ValueNumbering.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+using namespace gis;
+using namespace gis::opt;
+
+namespace {
+
+/// Pure, single-def-producing opcodes eligible for numbering.  Loads are
+/// excluded (memory), spill code is excluded (slots are storage), DIV/REM
+/// are included (see header).
+bool isNumberable(Opcode Op) {
+  switch (Op) {
+  case Opcode::LI:
+  case Opcode::LR:
+  case Opcode::AI:
+  case Opcode::A:
+  case Opcode::S:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::REM:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SL:
+  case Opcode::SR:
+  case Opcode::NEG:
+  case Opcode::C:
+  case Opcode::CI:
+  case Opcode::FC:
+  case Opcode::FA:
+  case Opcode::FS:
+  case Opcode::FM:
+  case Opcode::FD:
+  case Opcode::FMA:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Expression identity: opcode, operand registers (in order; none of
+/// these opcodes commute in the IR encoding), immediate, condition bit.
+using ExprKey = std::tuple<unsigned, std::vector<uint32_t>, int64_t, unsigned>;
+
+ExprKey keyFor(const Instruction &I) {
+  std::vector<uint32_t> Uses;
+  Uses.reserve(I.uses().size());
+  for (Reg U : I.uses())
+    Uses.push_back(U.key());
+  return {static_cast<unsigned>(I.opcode()), std::move(Uses), I.imm(),
+          static_cast<unsigned>(I.cond())};
+}
+
+/// Position of an instruction: (block, index in block).
+struct InstrPos {
+  BlockId Block = InvalidId;
+  size_t Index = 0;
+};
+
+class Numberer {
+public:
+  explicit Numberer(Function &F) : F(F), DT(buildCFG(F)) {
+    countDefsAndUses();
+  }
+
+  unsigned run() {
+    Dead.assign(F.numInstrs(), false);
+    visit(DT.root());
+    unsigned Removed = 0;
+    for (BlockId B : F.layout()) {
+      std::vector<InstrId> Kept;
+      Kept.reserve(F.block(B).size());
+      for (InstrId Id : F.block(B).instrs()) {
+        if (Dead[Id]) {
+          ++Removed;
+          continue;
+        }
+        Kept.push_back(Id);
+      }
+      F.block(B).instrs() = std::move(Kept);
+    }
+    return Removed;
+  }
+
+private:
+  void countDefsAndUses() {
+    for (Reg P : F.params())
+      ++DefCount[P.key()];
+    for (BlockId B : F.layout())
+      for (size_t Pos = 0; Pos != F.block(B).size(); ++Pos) {
+        InstrId Id = F.block(B).instrs()[Pos];
+        Positions[Id] = {B, Pos};
+        const Instruction &I = F.instr(Id);
+        for (Reg D : I.defs())
+          ++DefCount[D.key()];
+        for (Reg U : I.uses())
+          UseSites[U.key()].push_back(Id);
+      }
+  }
+
+  bool singleDef(Reg R) const {
+    auto It = DefCount.find(R.key());
+    return It != DefCount.end() && It->second == 1;
+  }
+
+  bool eligible(const Instruction &I) const {
+    if (!isNumberable(I.opcode()) || I.defs().size() != 1 ||
+        !singleDef(I.defs()[0]))
+      return false;
+    for (Reg U : I.uses())
+      if (!singleDef(U))
+        return false;
+    return true;
+  }
+
+  /// True if instruction \p User executes strictly after position \p P on
+  /// every path that reaches it.
+  bool executesAfter(InstrId User, const InstrPos &P) const {
+    auto It = Positions.find(User);
+    if (It == Positions.end())
+      return false;
+    const InstrPos &U = It->second;
+    if (U.Block == P.Block)
+      return U.Index > P.Index;
+    return DT.strictlyDominates(P.Block, U.Block);
+  }
+
+  /// Forwards every use of \p From to \p To; returns false (doing
+  /// nothing) unless all use sites are dominated by \p At.
+  bool forwardUses(Reg From, Reg To, const InstrPos &At) {
+    auto It = UseSites.find(From.key());
+    if (It == UseSites.end())
+      return true;
+    // Bind the vector: inserting into UseSites below may rehash the map
+    // (references stay valid, iterators do not).
+    const std::vector<InstrId> &Users = It->second;
+    for (InstrId User : Users)
+      if (!Dead[User] && !executesAfter(User, At))
+        return false;
+    for (InstrId User : Users) {
+      if (Dead[User])
+        continue;
+      for (Reg &U : F.instr(User).uses())
+        if (U == From)
+          U = To;
+      UseSites[To.key()].push_back(User);
+    }
+    return true;
+  }
+
+  void visit(unsigned Node) {
+    BlockId B = static_cast<BlockId>(Node);
+    std::vector<ExprKey> Inserted;
+    for (size_t Pos = 0; Pos != F.block(B).size(); ++Pos) {
+      InstrId Id = F.block(B).instrs()[Pos];
+      if (Dead[Id])
+        continue;
+      Instruction &I = F.instr(Id);
+      if (!eligible(I))
+        continue;
+      ExprKey Key = keyFor(I);
+      auto Found = Table.find(Key);
+      if (Found == Table.end()) {
+        Table.emplace(Key, I.defs()[0]);
+        Inserted.push_back(std::move(Key));
+        continue;
+      }
+      InstrPos Here{B, Pos};
+      if (forwardUses(I.defs()[0], Found->second, Here))
+        Dead[Id] = true;
+    }
+    for (unsigned Child : DT.children(Node))
+      visit(Child);
+    for (const ExprKey &Key : Inserted)
+      Table.erase(Key);
+  }
+
+  Function &F;
+  DomTree DT;
+  std::unordered_map<uint32_t, unsigned> DefCount;
+  std::unordered_map<uint32_t, std::vector<InstrId>> UseSites;
+  std::unordered_map<InstrId, InstrPos> Positions;
+  std::map<ExprKey, Reg> Table;
+  std::vector<bool> Dead;
+};
+
+} // namespace
+
+unsigned gis::opt::runValueNumbering(Function &F) {
+  if (F.numBlocks() == 0)
+    return 0;
+  return Numberer(F).run();
+}

@@ -1,0 +1,39 @@
+//===- opt/ValueNumbering.h - Dominator-scoped CSE --------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GVN-lite: common-subexpression elimination scoped by the dominator
+/// tree.  The IR is not SSA, so the pass restricts itself to the safe
+/// fragment: an expression participates only when its defined register and
+/// every operand register have exactly one def in the whole function
+/// (function parameters count as defs).  Such an expression computes the
+/// same value on every execution, so a dominated re-computation can
+/// forward all its uses to the dominating def and disappear -- provided
+/// each use site is itself dominated by the deleted def (otherwise the
+/// interpreter's read-before-write semantics could change).
+///
+/// DIV/REM are eligible: identical operands means identical trap
+/// behaviour, and the dominating instance executes (and would trap) first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_OPT_VALUENUMBERING_H
+#define GIS_OPT_VALUENUMBERING_H
+
+#include "ir/Function.h"
+
+namespace gis {
+namespace opt {
+
+/// Runs dominator-scoped value numbering over \p F (CFG must be up to
+/// date); returns the number of redundant instructions removed.
+unsigned runValueNumbering(Function &F);
+
+} // namespace opt
+} // namespace gis
+
+#endif // GIS_OPT_VALUENUMBERING_H

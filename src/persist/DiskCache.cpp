@@ -7,6 +7,7 @@
 #include "persist/PersistIO.h"
 #include "support/Diagnostics.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +65,11 @@ std::string serializeStats(const PipelineStats &S) {
   Put("regalloc.spill_slots", S.RegAlloc.SpillSlots);
   Put("regalloc.failures", S.RegAllocFailures);
   Put("region_waves", S.RegionWaves);
+  Put("opt.passes_run", S.Opt.PassesRun);
+  Put("opt.peephole_rewrites", S.Opt.PeepholeRewrites);
+  Put("opt.strength_reduced", S.Opt.StrengthReduced);
+  Put("opt.values_numbered", S.Opt.ValuesNumbered);
+  Put("opt.dce_removed", S.Opt.DeadRemoved);
   Put("transactions_run", S.TransactionsRun);
   Put("regions_rolled_back", S.RegionsRolledBack);
   Put("transforms_rolled_back", S.TransformsRolledBack);
@@ -128,6 +134,11 @@ bool parseStats(const std::string &Text, PipelineStats &S) {
   S.RegAlloc.SpillSlots = GetU("regalloc.spill_slots");
   S.RegAllocFailures = GetU("regalloc.failures");
   S.RegionWaves = GetU("region_waves");
+  S.Opt.PassesRun = GetU("opt.passes_run");
+  S.Opt.PeepholeRewrites = GetU("opt.peephole_rewrites");
+  S.Opt.StrengthReduced = GetU("opt.strength_reduced");
+  S.Opt.ValuesNumbered = GetU("opt.values_numbered");
+  S.Opt.DeadRemoved = GetU("opt.dce_removed");
   S.TransactionsRun = GetU("transactions_run");
   S.RegionsRolledBack = GetU("regions_rolled_back");
   S.TransformsRolledBack = GetU("transforms_rolled_back");
@@ -259,7 +270,8 @@ Status DiskScheduleCache::deserializeEntry(const std::string &Bytes,
   return Status::ok();
 }
 
-DiskScheduleCache::DiskScheduleCache(std::string Dir) : Dir(std::move(Dir)) {}
+DiskScheduleCache::DiskScheduleCache(std::string Dir, uint64_t MaxBytes)
+    : Dir(std::move(Dir)), MaxBytes(MaxBytes) {}
 
 Status DiskScheduleCache::open() {
   Status S = ensureDir(Dir);
@@ -356,8 +368,47 @@ void DiskScheduleCache::insert(const Key128 &Key, const Function &F,
     degrade(S, "persist-write");
     return;
   }
-  std::lock_guard<std::mutex> L(Mu);
-  ++Counts.Inserts;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Counts.Inserts;
+  }
+  if (MaxBytes)
+    enforceSizeBound(entryFileName(Key));
+}
+
+void DiskScheduleCache::enforceSizeBound(const std::string &JustPublished) {
+  std::vector<DirEntryInfo> Entries = listFilesWithSuffix(Dir, ".gse");
+  uint64_t Total = 0;
+  for (const DirEntryInfo &E : Entries)
+    Total += E.SizeBytes;
+  if (Total <= MaxBytes)
+    return;
+  // Oldest first; name as the tie-break so the victim order is
+  // deterministic when mtimes collide (coarse filesystem clocks).
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DirEntryInfo &A, const DirEntryInfo &B) {
+              if (A.MTimeSec != B.MTimeSec)
+                return A.MTimeSec < B.MTimeSec;
+              if (A.MTimeNsec != B.MTimeNsec)
+                return A.MTimeNsec < B.MTimeNsec;
+              return A.Name < B.Name;
+            });
+  uint64_t Evicted = 0;
+  for (const DirEntryInfo &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Name == JustPublished)
+      continue; // the bound never evicts the entry that triggered it
+    // Count only removals this process performed: a concurrent evictor may
+    // have won the race, and the entry is gone either way.
+    if (removeFile(Dir + "/" + E.Name))
+      ++Evicted;
+    Total -= E.SizeBytes;
+  }
+  if (Evicted) {
+    std::lock_guard<std::mutex> L(Mu);
+    Counts.Evictions += Evicted;
+  }
 }
 
 DiskCacheStats DiskScheduleCache::stats() const {

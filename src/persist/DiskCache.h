@@ -65,6 +65,7 @@ struct DiskCacheStats {
   uint64_t Quarantines = 0;   ///< corrupt/skewed entries moved aside
   uint64_t WriteFailures = 0; ///< failed publishes (degradation trigger)
   uint64_t ReadFailures = 0;  ///< failed reads (degradation trigger)
+  uint64_t Evictions = 0;     ///< entries evicted by the size bound
   bool Degraded = false;      ///< memory-only fallback active
 };
 
@@ -72,7 +73,15 @@ struct DiskCacheStats {
 /// permanently degraded (all operations become no-ops) rather than broken.
 class DiskScheduleCache {
 public:
-  explicit DiskScheduleCache(std::string Dir);
+  /// \p MaxBytes bounds the total size of the entry files in the cache
+  /// directory (0: unbounded, the historical behaviour).  Enforced at
+  /// publish time: after a successful insert the oldest entries (by
+  /// mtime) are evicted until the directory fits the bound again; the
+  /// just-published entry itself is never the victim.  Quarantined files
+  /// live in a subdirectory and are outside the bound.
+  explicit DiskScheduleCache(std::string Dir, uint64_t MaxBytes = 0);
+
+  uint64_t maxBytes() const { return MaxBytes; }
 
   /// Creates the directory if missing and probes writability.  On failure
   /// the cache degrades and the status says why; the caller chooses
@@ -121,8 +130,10 @@ private:
   void degrade(const Status &Why, const char *Op);
   void quarantine(const std::string &FileName, const std::string &Reason,
                   const std::string &Detail);
+  void enforceSizeBound(const std::string &JustPublished);
 
   std::string Dir;
+  uint64_t MaxBytes = 0;
 
   mutable std::mutex Mu;
   bool Opened = false;

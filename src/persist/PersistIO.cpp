@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -155,6 +156,33 @@ Status persist::quarantineFile(const std::string &Dir,
   return S;
 }
 
-void persist::removeFile(const std::string &Path) {
-  ::unlink(Path.c_str());
+bool persist::removeFile(const std::string &Path) {
+  return ::unlink(Path.c_str()) == 0;
+}
+
+std::vector<DirEntryInfo>
+persist::listFilesWithSuffix(const std::string &Dir,
+                             const std::string &Suffix) {
+  std::vector<DirEntryInfo> Out;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() < Suffix.size() ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    struct stat St;
+    std::string Path = Dir + "/" + Name;
+    if (::stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    DirEntryInfo Info;
+    Info.Name = std::move(Name);
+    Info.SizeBytes = static_cast<uint64_t>(St.st_size);
+    Info.MTimeSec = static_cast<int64_t>(St.st_mtim.tv_sec);
+    Info.MTimeNsec = static_cast<int64_t>(St.st_mtim.tv_nsec);
+    Out.push_back(std::move(Info));
+  }
+  ::closedir(D);
+  return Out;
 }

@@ -32,7 +32,9 @@
 
 #include "support/Status.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace gis {
 namespace persist {
@@ -65,8 +67,24 @@ Status readFile(const std::string &Path, std::string &Out, bool &Exists);
 Status quarantineFile(const std::string &Dir, const std::string &FileName,
                       const std::string &Reason);
 
-/// Removes \p Path (best effort; missing file is fine).
-void removeFile(const std::string &Path);
+/// Removes \p Path; returns true when this call actually unlinked the
+/// file (false when it was already gone or could not be removed).
+bool removeFile(const std::string &Path);
+
+/// One regular file of a directory listing, with the fields the cache's
+/// size-bound eviction needs: size to account, mtime to order.
+struct DirEntryInfo {
+  std::string Name; ///< file name (no directory component)
+  uint64_t SizeBytes = 0;
+  int64_t MTimeSec = 0;  ///< last-modification time, seconds
+  int64_t MTimeNsec = 0; ///< ... plus nanoseconds
+};
+
+/// Lists the regular files of \p Dir whose names end in \p Suffix
+/// (non-recursive; subdirectories like quarantine/ are skipped).  Returns
+/// an empty list on any error -- eviction is best-effort by design.
+std::vector<DirEntryInfo> listFilesWithSuffix(const std::string &Dir,
+                                              const std::string &Suffix);
 
 } // namespace persist
 } // namespace gis

@@ -58,7 +58,8 @@ Status CompileServer::start() {
                          "socket path too long: " + SOpts.SocketPath);
 
   if (!SOpts.CacheDir.empty()) {
-    Disk = std::make_unique<DiskScheduleCache>(SOpts.CacheDir);
+    Disk = std::make_unique<DiskScheduleCache>(SOpts.CacheDir,
+                                               SOpts.CacheDirMaxBytes);
     // The daemon fails fast on an unusable cache directory: unlike a
     // one-shot gisc run, a long-lived server silently degraded from its
     // first second is a misconfiguration nobody would notice.
@@ -165,7 +166,8 @@ std::string CompileServer::statsJson() const {
        << ", \"disk_misses\": " << D.Misses
        << ", \"inserts\": " << D.Inserts
        << ", \"quarantines\": " << D.Quarantines
-       << ", \"write_failures\": " << D.WriteFailures << "},";
+       << ", \"write_failures\": " << D.WriteFailures
+       << ", \"evictions\": " << D.Evictions << "},";
   }
   OS << "\n  \"counters\": {";
   for (unsigned K = 0; K != obs::NumCounters; ++K) {

@@ -70,6 +70,9 @@ struct ServerOptions {
   unsigned ShedRetryMs = 50;
   /// Directory of the shared disk tier; empty serves memory-only.
   std::string CacheDir;
+  /// Size bound of the disk tier in bytes (0: unbounded); see
+  /// DiskScheduleCache.  Evictions are reported by the STATS verb.
+  uint64_t CacheDirMaxBytes = 0;
   size_t CacheCapacity = 4096;
   /// Test hook: stall this many milliseconds before each compile, so tests
   /// can fill the queue / expire deadlines deterministically.

@@ -13,6 +13,7 @@
 #include "sched/PreRenaming.h"
 #include "sched/Rotate.h"
 #include "sched/ScheduleVerifier.h"
+#include "sched/Transaction.h"
 #include "sched/Unroll.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
@@ -76,49 +77,39 @@ bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
   obs::TraceSpan StageSpan(Stage, "stage", "loop",
                            static_cast<int64_t>(LoopIdx));
   if (!Ctx.Opts.EnableTransactions) {
+    TransactionConfig Cfg;
+    Cfg.Enabled = false;
     PipelineStats Delta;
-    Status S = Body(Delta);
-    if (!S.isOk())
-      fatalError(__FILE__, __LINE__, S.str().c_str());
+    runFunctionTransaction(Ctx.F, Stage, Cfg,
+                           [&] { return Body(Delta); });
     Ctx.Stats += Delta;
     return true;
   }
 
   ++Ctx.Stats.TransactionsRun;
-  FunctionSnapshot Snap(Ctx.F);
+  TransactionConfig Cfg;
+  Cfg.VerifyStructural = Ctx.Opts.VerifyStructural;
+  Cfg.EnableOracle = Ctx.Opts.EnableOracle;
+  Cfg.OracleModule = Ctx.Opts.OracleModule;
+  Cfg.OracleMaxSteps = Ctx.Opts.OracleMaxSteps;
+
   PipelineStats Delta;
-  Status S = Body(Delta);
-  if (!S.isOk())
+  TransactionResult R =
+      runFunctionTransaction(Ctx.F, Stage, Cfg, [&] { return Body(Delta); });
+  if (R.EngineFailure)
     ++Ctx.Stats.EngineFailures;
-
-  if (S.isOk() && FaultInjector::instance().shouldFire(Stage) &&
-      corruptFunctionForTest(Ctx.F))
+  if (R.FaultInjected)
     ++Ctx.Stats.FaultsInjected;
+  if (R.VerifierFailure)
+    ++Ctx.Stats.VerifierFailures;
+  if (R.OracleMismatch)
+    ++Ctx.Stats.OracleMismatches;
 
-  if (S.isOk() && Ctx.Opts.VerifyStructural) {
-    std::vector<std::string> Problems = verifyFunction(Ctx.F);
-    if (!Problems.empty()) {
-      S = Status::error(ErrorCode::VerifierStructural, Problems.front());
-      ++Ctx.Stats.VerifierFailures;
-    }
-  }
-  if (S.isOk() && Ctx.Opts.EnableOracle && Ctx.Opts.OracleModule) {
-    OracleOptions OOpts;
-    OOpts.MaxSteps = Ctx.Opts.OracleMaxSteps;
-    OracleReport Rep = runDifferentialOracle(*Ctx.Opts.OracleModule,
-                                             Snap.function(), Ctx.F, OOpts);
-    if (Rep.Verdict == OracleVerdict::Mismatch) {
-      S = Status::error(ErrorCode::OracleMismatch, Rep.Detail);
-      ++Ctx.Stats.OracleMismatches;
-    }
-  }
-
-  if (S.isOk()) {
+  if (R.Committed) {
     Ctx.Stats += Delta;
     return true;
   }
 
-  Snap.restore(Ctx.F);
   if (RegionScoped)
     ++Ctx.Stats.RegionsRolledBack;
   else
@@ -127,7 +118,7 @@ bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
     Ctx.Stats.Counters.bump(obs::Rollbacks);
   obs::Tracer::instance().instant("rollback", "tx", "loop",
                                   static_cast<int64_t>(LoopIdx));
-  reportDiagnostic(Ctx.Stats.Diags, S, Ctx.F.name(), Stage, LoopIdx);
+  reportDiagnostic(Ctx.Stats.Diags, R.S, Ctx.F.name(), Stage, LoopIdx);
   return false;
 }
 
@@ -364,6 +355,32 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                           Tr.enabled() ? std::string(F.name())
                                        : std::string());
   F.recomputeCFG();
+
+  // Step -1: the mid-end optimizer (src/opt/), the stage the paper's XL
+  // compiler ran before handing IR to the scheduler.  Each pass is its own
+  // transaction under the same guards as the scheduling transforms; its
+  // report folds into this run's statistics so rollbacks, faults and
+  // diagnostics surface through the one channel.
+  if (Opts.Opt.anyEnabled()) {
+    TransactionConfig TxCfg;
+    TxCfg.Enabled = Opts.EnableTransactions;
+    TxCfg.VerifyStructural = Opts.VerifyStructural;
+    TxCfg.EnableOracle = Opts.EnableOracle;
+    TxCfg.OracleModule = Opts.OracleModule;
+    TxCfg.OracleMaxSteps = Opts.OracleMaxSteps;
+    opt::OptRunReport R = opt::runOptPasses(
+        F, MD, Opts.Opt, TxCfg,
+        Opts.CollectCounters ? &Stats.Counters : nullptr);
+    Stats.Opt += R.Opt;
+    Stats.TransactionsRun += R.TransactionsRun;
+    Stats.TransformsRolledBack += R.TransformsRolledBack;
+    Stats.VerifierFailures += R.VerifierFailures;
+    Stats.OracleMismatches += R.OracleMismatches;
+    Stats.EngineFailures += R.EngineFailures;
+    Stats.FaultsInjected += R.FaultsInjected;
+    Stats.Diags.insert(Stats.Diags.end(), R.Diags.begin(), R.Diags.end());
+  }
+
   F.renumberOriginalOrder();
 
   LoopInfo LI = LoopInfo::compute(F);

@@ -51,6 +51,7 @@
 #include "machine/MachineDescription.h"
 #include "obs/Counters.h"
 #include "obs/Decision.h"
+#include "opt/PassManager.h"
 #include "regalloc/LinearScan.h"
 #include "sched/GlobalScheduler.h"
 #include "sched/LocalScheduler.h"
@@ -120,6 +121,17 @@ struct PipelineOptions {
   /// options fingerprint (engine/ScheduleCache.cpp).  Composes with
   /// EngineOptions::Jobs: a batch may run up to Jobs x RegionJobs workers.
   unsigned RegionJobs = 1;
+
+  //===--------------------------------------------------------------------===
+  // Mid-end optimizer (src/opt/; gisc -O0/-O1/-O2)
+  //===--------------------------------------------------------------------===
+
+  /// Optimizer passes run over the IR before any scheduling (DESIGN.md
+  /// section 13).  Defaults to level 0 -- no passes -- preserving the
+  /// paper's near-raw-input contract; each pass runs as a transaction
+  /// under the same guards configured below.  The resolved pass set is
+  /// part of the schedule-cache options fingerprint.
+  opt::OptOptions Opt;
 
   //===--------------------------------------------------------------------===
   // Transactional execution (failure model & recovery; see DESIGN.md)
@@ -193,6 +205,10 @@ struct PipelineStats {
   /// registers (e.g. a condition-register interval would spill).
   unsigned RegAllocFailures = 0;
 
+  /// Mid-end optimizer totals (PipelineOptions::Opt); all zero when no
+  /// pass is enabled.
+  opt::OptStats Opt;
+
   /// Waves of the region dependence forest dispatched by the two global
   /// scheduling passes (a wave's regions are mutually independent and may
   /// run concurrently; see PipelineOptions::RegionJobs).
@@ -247,6 +263,7 @@ struct PipelineStats {
                             : RHS.PressurePeak[C];
     RegAlloc += RHS.RegAlloc;
     RegAllocFailures += RHS.RegAllocFailures;
+    Opt += RHS.Opt;
     RegionWaves += RHS.RegionWaves;
     RegionTimes.insert(RegionTimes.end(), RHS.RegionTimes.begin(),
                        RHS.RegionTimes.end());

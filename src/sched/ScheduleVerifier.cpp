@@ -20,6 +20,50 @@ struct Placement {
   bool Valid = false;
 };
 
+/// Read instructions witnessing "D is live on exit from B" in \p F: every
+/// read of D reachable from B's exit before an intervening def.  Sorted by
+/// id.  Conservation (checked before any caller runs) guarantees the
+/// before and after functions share instruction ids, so the same read can
+/// be looked up on both sides.
+std::vector<InstrId> liveOutWitnesses(const Function &F, BlockId B, Reg D) {
+  std::vector<InstrId> Witnesses;
+  std::vector<bool> Visited(F.numBlocks(), false);
+  std::vector<BlockId> Work(F.block(B).succs().begin(),
+                            F.block(B).succs().end());
+  while (!Work.empty()) {
+    BlockId Cur = Work.back();
+    Work.pop_back();
+    if (Cur >= Visited.size() || Visited[Cur])
+      continue;
+    Visited[Cur] = true;
+    bool Killed = false;
+    for (InstrId I : F.block(Cur).instrs()) {
+      if (F.instr(I).usesReg(D))
+        Witnesses.push_back(I); // reads happen before the same instr's write
+      if (F.instr(I).definesReg(D)) {
+        Killed = true;
+        break;
+      }
+    }
+    if (!Killed)
+      for (BlockId S : F.block(Cur).succs())
+        Work.push_back(S);
+  }
+  std::sort(Witnesses.begin(), Witnesses.end());
+  return Witnesses;
+}
+
+/// True when the two sorted witness lists share an instruction.
+bool shareWitness(const std::vector<InstrId> &A, const std::vector<InstrId> &B) {
+  size_t I = 0, J = 0;
+  while (I != A.size() && J != B.size()) {
+    if (A[I] == B[J])
+      return true;
+    A[I] < B[J] ? ++I : ++J;
+  }
+  return false;
+}
+
 /// Placements of every instruction sitting in one of the region's real
 /// blocks of \p F.
 std::vector<Placement> placementsOf(const Function &F, const SchedRegion &R) {
@@ -156,14 +200,22 @@ std::vector<std::string> gis::verifyRegionSchedule(const Function &Before,
 
     // Speculative motion must not kill a register a bypassed path reads.
     // A renamed def is a fresh register (never live anywhere in the
-    // original) and thus always safe; an un-renamed def is illegal when it
-    // was live on exit from the target block before the pass and a
-    // surviving read keeps it live there after the pass.
+    // original) and thus always safe; an un-renamed def is illegal when
+    // some read that consumed the pre-motion value from the target block's
+    // exit before the pass (a bypassed reader) still consumes from that
+    // exit after it.  Comparing the live-out bits alone is not enough:
+    // reads the moved def itself used to feed from its home block keep D
+    // live on exit from the target block after the pass, and the original
+    // bypassed reader may itself have been scheduled above the target or
+    // renamed -- so the *same* read must witness liveness on both sides.
     BlockId ABlock = R.node(NewNode).Block;
     for (Reg D : After.instr(I).defs()) {
       if (!Before.instr(I).definesReg(D))
         continue; // renamed: fresh register
-      if (LVBefore.isLiveOut(ABlock, D) && LVAfter.isLiveOut(ABlock, D))
+      if (!LVBefore.isLiveOut(ABlock, D) || !LVAfter.isLiveOut(ABlock, D))
+        continue;
+      if (shareWitness(liveOutWitnesses(Before, ABlock, D),
+                       liveOutWitnesses(After, ABlock, D)))
         Problem(formatString("speculative instruction %u kills %s, live on "
                              "exit from %s",
                              I, D.str().c_str(),

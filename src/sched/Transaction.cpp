@@ -1,0 +1,60 @@
+//===- sched/Transaction.cpp - Guarded function transforms -----------------===//
+
+#include "sched/Transaction.h"
+
+#include "interp/DifferentialOracle.h"
+#include "ir/Checkpoint.h"
+#include "ir/Verifier.h"
+#include "support/Assert.h"
+#include "support/FaultInjection.h"
+
+using namespace gis;
+
+TransactionResult
+gis::runFunctionTransaction(Function &F, const char *Stage,
+                            const TransactionConfig &Cfg,
+                            const std::function<Status()> &Body) {
+  TransactionResult R;
+  if (!Cfg.Enabled) {
+    R.S = Body();
+    if (!R.S.isOk())
+      fatalError(__FILE__, __LINE__, R.S.str().c_str());
+    R.Committed = true;
+    return R;
+  }
+
+  FunctionSnapshot Snap(F);
+  R.S = Body();
+  if (!R.S.isOk())
+    R.EngineFailure = true;
+
+  if (R.S.isOk() && FaultInjector::instance().shouldFire(Stage) &&
+      corruptFunctionForTest(F))
+    R.FaultInjected = true;
+
+  if (R.S.isOk() && Cfg.VerifyStructural) {
+    std::vector<std::string> Problems = verifyFunction(F);
+    if (!Problems.empty()) {
+      R.S = Status::error(ErrorCode::VerifierStructural, Problems.front());
+      R.VerifierFailure = true;
+    }
+  }
+  if (R.S.isOk() && Cfg.EnableOracle && Cfg.OracleModule) {
+    OracleOptions OOpts;
+    OOpts.MaxSteps = Cfg.OracleMaxSteps;
+    OracleReport Rep =
+        runDifferentialOracle(*Cfg.OracleModule, Snap.function(), F, OOpts);
+    if (Rep.Verdict == OracleVerdict::Mismatch) {
+      R.S = Status::error(ErrorCode::OracleMismatch, Rep.Detail);
+      R.OracleMismatch = true;
+    }
+  }
+
+  if (R.S.isOk()) {
+    R.Committed = true;
+    return R;
+  }
+
+  Snap.restore(F);
+  return R;
+}
