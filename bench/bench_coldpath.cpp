@@ -1,0 +1,214 @@
+//===- bench/bench_coldpath.cpp - E13: cold-path scheduling throughput -----===//
+//
+// Cold-compile throughput of the scheduler itself, cache off: functions
+// per second over a multi-function random workload batch, across the
+// {incremental, full-recompute} x {-O0, -O2} x {useful, speculative}
+// matrix.  The incremental cold path (DESIGN.md section 14) emits
+// bit-identical schedules (tests/coldpath_test.cpp), so the speedup
+// column is a pure bookkeeping win.  The results merge into
+// BENCH_engine.json as the "coldpath" section, and the run *fails* when
+// the incremental speculative -O0 rate -- the configuration gisc runs by
+// default -- drops more than 10% below the value the previous run
+// recorded there.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "workloads/RandomProgram.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace gis;
+using namespace gis::bench;
+
+namespace {
+
+constexpr unsigned BatchModules = 24;
+
+std::vector<std::string> batchSources() {
+  std::vector<std::string> Sources;
+  Sources.reserve(BatchModules);
+  for (unsigned K = 0; K != BatchModules; ++K)
+    Sources.push_back(generateRandomMiniC(9000 + K));
+  return Sources;
+}
+
+struct ColdRun {
+  double Seconds = 0;
+  unsigned Functions = 0;
+  double funcsPerSec() const {
+    return Seconds > 0 ? Functions / Seconds : 0.0;
+  }
+};
+
+/// One cold batch compile: front end + scheduler for every module, no
+/// cache anywhere.  Min-of-3 wall clock (least-noise estimate).
+ColdRun measureCold(const std::vector<std::string> &Sources,
+                    const PipelineOptions &Opts) {
+  using Clock = std::chrono::steady_clock;
+  ColdRun Best;
+  for (unsigned Rep = 0; Rep != 3; ++Rep) {
+    ColdRun R;
+    auto Start = Clock::now();
+    for (const std::string &Source : Sources) {
+      auto M = compileMiniCOrDie(Source);
+      scheduleModule(*M, MachineDescription::rs6k(), Opts);
+      R.Functions += static_cast<unsigned>(M->functions().size());
+    }
+    R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+    if (Rep == 0 || R.Seconds < Best.Seconds)
+      Best = R;
+  }
+  return Best;
+}
+
+struct MatrixPoint {
+  unsigned OptLevel;
+  const char *Level;
+  bool Incremental;
+  double FuncsPerSec;
+  double Speedup; ///< vs the full-recompute twin of the same config
+};
+
+/// The previously recorded gate value: the incremental speculative -O0
+/// funcs/s of the last run, parsed out of BENCH_engine.json's "coldpath"
+/// section.  0 when the file or section does not exist yet.
+double recordedGate(const char *Path) {
+  std::FILE *In = std::fopen(Path, "r");
+  if (!In)
+    return 0.0;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Text.append(Buf, N);
+  std::fclose(In);
+  size_t Sec = Text.find("\"coldpath\"");
+  if (Sec == std::string::npos)
+    return 0.0;
+  size_t Key = Text.find("\"gate_funcs_per_sec\":", Sec);
+  if (Key == std::string::npos)
+    return 0.0;
+  return std::strtod(Text.c_str() + Key + sizeof("\"gate_funcs_per_sec\":"),
+                     nullptr);
+}
+
+std::string jsonSection(const std::vector<MatrixPoint> &Points,
+                        unsigned Functions, double Gate) {
+  std::string S = "{\n";
+  S += "    \"batch_modules\": " + std::to_string(BatchModules) + ",\n";
+  S += "    \"batch_functions\": " + std::to_string(Functions) + ",\n";
+  S += "    \"points\": [\n";
+  char Line[160];
+  for (size_t K = 0; K != Points.size(); ++K) {
+    const MatrixPoint &P = Points[K];
+    std::snprintf(Line, sizeof(Line),
+                  "      {\"opt\": %u, \"level\": \"%s\", "
+                  "\"incremental\": %s, \"funcs_per_sec\": %.1f, "
+                  "\"speedup\": %.2f}%s\n",
+                  P.OptLevel, P.Level, P.Incremental ? "true" : "false",
+                  P.FuncsPerSec, P.Speedup,
+                  K + 1 == Points.size() ? "" : ",");
+    S += Line;
+  }
+  std::snprintf(Line, sizeof(Line),
+                "    ],\n    \"gate_funcs_per_sec\": %.1f,\n"
+                "    \"gate_drop_tolerance\": 0.10\n  }",
+                Gate);
+  S += Line;
+  return S;
+}
+
+/// Runs the matrix, prints the E13 table, merges the JSON section, and
+/// returns nonzero when the regression gate trips.
+int runE13() {
+  std::vector<std::string> Sources = batchSources();
+
+  std::printf("\nE13: cold-path scheduling throughput "
+              "(cache off, %u modules, hardware threads: %u)\n",
+              BatchModules, hardwareThreads());
+  rule(72);
+  std::printf("%6s%14s%14s%14s%12s\n", "OPT", "LEVEL", "MODE", "FUNCS/SEC",
+              "SPEEDUP");
+  rule(72);
+
+  std::vector<MatrixPoint> Points;
+  unsigned Functions = 0;
+  double GateValue = 0; // incremental speculative -O0
+  for (unsigned OptLevel : {0u, 2u}) {
+    for (const char *Level : {"useful", "speculative"}) {
+      double FullRate = 0;
+      for (bool Incremental : {false, true}) {
+        PipelineOptions Opts = std::string(Level) == "useful"
+                                   ? usefulOptions()
+                                   : speculativeOptions();
+        Opts.Opt.Level = OptLevel;
+        Opts.Incremental = Incremental;
+        ColdRun R = measureCold(Sources, Opts);
+        Functions = R.Functions;
+        double Rate = R.funcsPerSec();
+        if (!Incremental)
+          FullRate = Rate;
+        double Speedup = FullRate > 0 ? Rate / FullRate : 0.0;
+        Points.push_back({OptLevel, Level, Incremental, Rate, Speedup});
+        if (Incremental && OptLevel == 0 &&
+            std::string(Level) == "speculative")
+          GateValue = Rate;
+        std::printf("%6s%14s%14s%14.1f%11.2fx\n",
+                    OptLevel ? "-O2" : "-O0", Level,
+                    Incremental ? "incremental" : "full", Rate, Speedup);
+      }
+    }
+  }
+  rule(72);
+  std::printf("\"full\" is --no-incremental: per-pick recomputation of the "
+              "ready set and\nfull liveness re-solves (the reference mode "
+              "the 200-seed fuzz in\ntests/coldpath_test.cpp checks "
+              "bit-identity against).\n");
+
+  const char *Path = "BENCH_engine.json";
+  double Previous = recordedGate(Path);
+  mergeJsonSection(Path, "bench_coldpath", "coldpath",
+                   jsonSection(Points, Functions, GateValue));
+
+  if (Previous > 0 && GateValue < 0.9 * Previous) {
+    std::fprintf(stderr,
+                 "bench_coldpath: REGRESSION -- incremental speculative -O0 "
+                 "cold rate %.1f funcs/s is more than 10%% below the "
+                 "recorded %.1f\n",
+                 GateValue, Previous);
+    return 1;
+  }
+  std::printf("\nregression gate: %.1f funcs/s recorded (previous %.1f, "
+              "tolerance 10%%)\n",
+              GateValue, Previous);
+  return 0;
+}
+
+void BM_ColdSchedule(benchmark::State &State) {
+  bool Incremental = State.range(0) != 0;
+  std::string Source = generateRandomMiniC(9001);
+  PipelineOptions Opts = speculativeOptions();
+  Opts.Incremental = Incremental;
+  for (auto _ : State) {
+    auto M = compileMiniCOrDie(Source);
+    PipelineStats Stats = scheduleModule(*M, MachineDescription::rs6k(), Opts);
+    benchmark::DoNotOptimize(Stats.Global.UsefulMotions);
+  }
+  State.SetLabel(Incremental ? "incremental" : "full");
+}
+BENCHMARK(BM_ColdSchedule)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return runE13();
+}

@@ -4,9 +4,12 @@
 # and once under ASan+UBSan (-DGIS_SANITIZE=address,undefined), then run
 # the multi-threaded suites -- the batch-compilation engine and the
 # region-parallel scheduler (ctest label "parallel") -- under TSan
-# (-DGIS_SANITIZE=thread; TSan and ASan cannot share a build).  Run from
-# anywhere; builds land in build/, build-san/ and build-tsan/ next to the
-# sources.
+# (-DGIS_SANITIZE=thread; TSan and ASan cannot share a build), and
+# finally the cold-path equivalence suite (label "perf-equiv") in a
+# -DGIS_SLOWPATH_CHECK=ON build where the incremental scheduler
+# cross-checks every update against full recomputation.  Run from
+# anywhere; builds land in build/, build-san/, build-tsan/ and
+# build-slowcheck/ next to the sources.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,7 +35,7 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): parallel + obs + regalloc + persist + opt suites =="
+echo "== sanitized build (thread): parallel + obs + regalloc + persist + opt + perf-equiv suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "parallel" label covers gis_parallel_tests: the batch engine, the
 # thread pool / cache / hashing units, and the region-parallel scheduling
@@ -50,7 +53,18 @@ build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "opt" label covers gis_opt_tests: the optimizer suite drives
 # engines whose workers compile optimized modules concurrently and its
 # cache-isolation test shares memory and disk tiers across -O levels.
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist|opt'
+# The "perf-equiv" label covers gis_coldpath_tests: the incremental
+# scheduler's per-region state is built and torn down on region worker
+# threads, so the equivalence fuzz runs under TSan too.
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist|opt|perf-equiv'
+
+echo "== slowpath-check build (GIS_SLOWPATH_CHECK=ON): perf-equiv suite =="
+# The incremental cold path re-derives every liveness set, heuristic
+# value and per-cycle ready list from scratch and fatal-errors on any
+# divergence (DESIGN.md section 14); the equivalence suite then checks
+# the fast path pick by pick, not just end to end.
+build_tree "$ROOT/build-slowcheck" -DGIS_SLOWPATH_CHECK=ON
+ctest --test-dir "$ROOT/build-slowcheck" --output-on-failure -L 'perf-equiv'
 
 echo "== cross-process cache-dir sharing (two gisc processes, one directory) =="
 # Beyond the in-process test, run two real gisc processes concurrently

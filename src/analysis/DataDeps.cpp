@@ -26,16 +26,7 @@ const char *gis::depKindName(DepKind K) {
 
 namespace {
 
-/// Register def/use/memory summary of one DDG node, precomputed for fast
-/// pairwise dependence tests.
-struct NodeFacts {
-  std::vector<Reg> Defs;
-  std::vector<Reg> Uses;
-  bool TouchesMemory = false;
-  bool IsCallOrBarrier = false;
-};
-
-bool intersects(const std::vector<Reg> &A, const std::vector<Reg> &B) {
+bool intersects(SpanRange<Reg> A, SpanRange<Reg> B) {
   for (Reg X : A)
     for (Reg Y : B)
       if (X == Y)
@@ -50,51 +41,37 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
   DataDeps DD;
   DD.InstrToNode.assign(F.numInstrs(), -1);
 
+  // Memory/call summary bits, only needed during construction.
+  std::vector<uint8_t> TouchesMemory, IsCallOrBarrier;
+
   // Node list, in region topological order; program order within blocks.
+  // Register facts go straight into the flat arena: a real instruction's
+  // def/use lists, a barrier's aggregate payload (computed by
+  // SchedRegion::build), addressed uniformly through DefSpan/UseSpan.
   for (unsigned RN : R.topoOrder()) {
     const RegionNode &Node = R.node(RN);
     if (Node.isBlock()) {
       for (InstrId I : F.block(Node.Block).instrs()) {
         DD.InstrToNode[I] = static_cast<int>(DD.Nodes.size());
-        DataDeps::Node N;
-        N.Instr = I;
-        N.RegionNode = RN;
-        DD.Nodes.push_back(std::move(N));
+        const Instruction &Ins = F.instr(I);
+        DD.Nodes.push_back(DataDeps::Node{I, RN});
+        DD.DefSpan.push_back(DD.FactRegs.append(Ins.defs()));
+        DD.UseSpan.push_back(DD.FactRegs.append(Ins.uses()));
+        TouchesMemory.push_back(Ins.touchesMemory());
+        IsCallOrBarrier.push_back(Ins.isCall());
       }
       continue;
     }
-    // Inner-loop barrier: the aggregate register payload was computed by
-    // SchedRegion::build.
-    DataDeps::Node N;
-    N.RegionNode = RN;
-    N.BarrierDefs = Node.SummaryDefs;
-    N.BarrierUses = Node.SummaryUses;
-    DD.Nodes.push_back(std::move(N));
+    // Inner-loop barrier.
+    DD.Nodes.push_back(DataDeps::Node{InvalidId, RN});
+    DD.DefSpan.push_back(DD.FactRegs.append(Node.SummaryDefs));
+    DD.UseSpan.push_back(DD.FactRegs.append(Node.SummaryUses));
+    TouchesMemory.push_back(1);
+    IsCallOrBarrier.push_back(1);
   }
 
   unsigned M = DD.numNodes();
-  DD.Succ.assign(M, {});
-  DD.Pred.assign(M, {});
   DD.Ancestors.assign(M, BitSet(M));
-
-  // Per-node facts.
-  std::vector<NodeFacts> Facts(M);
-  for (unsigned N = 0; N != M; ++N) {
-    const DataDeps::Node &Node = DD.Nodes[N];
-    NodeFacts &NF = Facts[N];
-    if (Node.isBarrier()) {
-      NF.Defs = Node.BarrierDefs;
-      NF.Uses = Node.BarrierUses;
-      NF.TouchesMemory = true;
-      NF.IsCallOrBarrier = true;
-      continue;
-    }
-    const Instruction &I = F.instr(Node.Instr);
-    NF.Defs = I.defs();
-    NF.Uses = I.uses();
-    NF.TouchesMemory = I.touchesMemory();
-    NF.IsCallOrBarrier = I.isCall();
-  }
 
   // Block-level reachability in the region's forward graph (region-node
   // indices).
@@ -103,9 +80,9 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
   MemDisambiguator Disambig(F, R);
 
   auto MemConflict = [&](unsigned A, unsigned B) {
-    if (!Facts[A].TouchesMemory || !Facts[B].TouchesMemory)
+    if (!TouchesMemory[A] || !TouchesMemory[B])
       return false;
-    if (Facts[A].IsCallOrBarrier || Facts[B].IsCallOrBarrier)
+    if (IsCallOrBarrier[A] || IsCallOrBarrier[B])
       return true;
     const Instruction &IA = F.instr(DD.Nodes[A].Instr);
     const Instruction &IB = F.instr(DD.Nodes[B].Instr);
@@ -116,11 +93,11 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
 
   // Dependence classification; Flow wins (it carries the delay).
   auto Classify = [&](unsigned A, unsigned B) -> std::optional<DepKind> {
-    if (intersects(Facts[A].Defs, Facts[B].Uses))
+    if (intersects(DD.defs(A), DD.uses(B)))
       return DepKind::Flow;
-    if (intersects(Facts[A].Uses, Facts[B].Defs))
+    if (intersects(DD.uses(A), DD.defs(B)))
       return DepKind::Anti;
-    if (intersects(Facts[A].Defs, Facts[B].Defs))
+    if (intersects(DD.defs(A), DD.defs(B)))
       return DepKind::Output;
     if (MemConflict(A, B))
       return DepKind::Memory;
@@ -136,7 +113,8 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
 
   // Pairwise construction with the paper's transitive reduction: walk
   // sources in descending order; skip a pair already ordered by recorded
-  // edges.
+  // edges.  Only the edge list and the ancestor closure are maintained
+  // here; the CSR adjacency is derived in one pass afterwards.
   for (unsigned B = 0; B != M; ++B) {
     unsigned BR = DD.Nodes[B].RegionNode;
     for (unsigned A = B; A-- > 0;) {
@@ -150,14 +128,61 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
       if (!Kind)
         continue;
       unsigned Delay = *Kind == DepKind::Flow ? FlowDelay(A, B) : 0;
-      unsigned EdgeIdx = static_cast<unsigned>(DD.Edges.size());
       DD.Edges.push_back(DepEdge{A, B, *Kind, Delay});
-      DD.Succ[A].push_back(EdgeIdx);
-      DD.Pred[B].push_back(EdgeIdx);
       DD.Ancestors[B].set(A);
       DD.Ancestors[B].unionWith(DD.Ancestors[A]);
     }
   }
 
+  // CSR adjacency: counting sort of edge indices by endpoint.  Filling in
+  // edge-index order keeps each row in edge-creation order, matching the
+  // append order the per-node vectors historically had.
+  unsigned E = static_cast<unsigned>(DD.Edges.size());
+  std::vector<unsigned> SuccOff(M + 1, 0), PredOff(M + 1, 0);
+  for (const DepEdge &Ed : DD.Edges) {
+    ++SuccOff[Ed.From + 1];
+    ++PredOff[Ed.To + 1];
+  }
+  for (unsigned N = 0; N != M; ++N) {
+    SuccOff[N + 1] += SuccOff[N];
+    PredOff[N + 1] += PredOff[N];
+  }
+  std::vector<unsigned> SuccFlat(E), PredFlat(E);
+  {
+    std::vector<unsigned> SuccFill = SuccOff, PredFill = PredOff;
+    for (unsigned EIdx = 0; EIdx != E; ++EIdx) {
+      SuccFlat[SuccFill[DD.Edges[EIdx].From]++] = EIdx;
+      PredFlat[PredFill[DD.Edges[EIdx].To]++] = EIdx;
+    }
+  }
+  DD.SuccIdx.reserve(E);
+  DD.PredIdx.reserve(E);
+  DD.SuccIdx.append(SuccFlat);
+  DD.PredIdx.append(PredFlat);
+  DD.SuccSpan.resize(M);
+  DD.PredSpan.resize(M);
+  for (unsigned N = 0; N != M; ++N) {
+    DD.SuccSpan[N] = ArenaSpan{SuccOff[N], SuccOff[N + 1] - SuccOff[N]};
+    DD.PredSpan[N] = ArenaSpan{PredOff[N], PredOff[N + 1] - PredOff[N]};
+  }
+
   return DD;
+}
+
+DataDeps::Stats DataDeps::stats() const {
+  Stats S;
+  S.Nodes = numNodes();
+  S.Edges = static_cast<unsigned>(Edges.size());
+  S.ArenaBytes = FactRegs.bytesReserved() + SuccIdx.bytesReserved() +
+                 PredIdx.bytesReserved() +
+                 static_cast<uint64_t>(Edges.capacity()) * sizeof(DepEdge) +
+                 static_cast<uint64_t>(Nodes.capacity()) * sizeof(Node) +
+                 static_cast<uint64_t>(DefSpan.capacity() +
+                                       UseSpan.capacity() +
+                                       SuccSpan.capacity() +
+                                       PredSpan.capacity()) *
+                     sizeof(ArenaSpan) +
+                 static_cast<uint64_t>(numNodes()) *
+                     ((numNodes() + 63) / 64) * sizeof(uint64_t);
+  return S;
 }

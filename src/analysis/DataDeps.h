@@ -18,6 +18,13 @@
 /// pseudo-instructions, so no instruction can be moved across an inner
 /// loop it depends on.
 ///
+/// Layout (DESIGN.md section 14): the graph is struct-of-arrays.  Nodes
+/// are two words; register def/use facts (including barrier payloads) live
+/// in one flat SpanArena; the adjacency is compressed-sparse-row (one
+/// offsets array plus one edge-index array per direction), so the
+/// scheduler's per-pick successor walks and the builder's O(n^2) pairwise
+/// classification are sequential index scans, not pointer chases.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_ANALYSIS_DATADEPS_H
@@ -25,6 +32,7 @@
 
 #include "analysis/Region.h"
 #include "machine/MachineDescription.h"
+#include "support/Arena.h"
 
 #include <vector>
 
@@ -52,15 +60,23 @@ struct DepEdge {
 /// The data dependence graph of one region.
 class DataDeps {
 public:
-  /// One DDG node: a real instruction or an inner-loop barrier.
+  /// One DDG node: a real instruction or an inner-loop barrier.  Register
+  /// facts (and a barrier's aggregate payload) live in the shared arena,
+  /// reachable through defs()/uses() below.
   struct Node {
     InstrId Instr = InvalidId; ///< valid for real instructions
     unsigned RegionNode = 0;   ///< owning node in the SchedRegion
-    // Barrier payload (summaries only):
-    std::vector<Reg> BarrierDefs;
-    std::vector<Reg> BarrierUses;
 
     bool isBarrier() const { return Instr == InvalidId; }
+  };
+
+  /// Coarse size/footprint numbers of one graph, surfaced through the obs
+  /// coldpath counters (bytes are capacity of the flat buffers, i.e. what
+  /// the arena reserved, not a malloc-accurate footprint).
+  struct Stats {
+    unsigned Nodes = 0;
+    unsigned Edges = 0;
+    uint64_t ArenaBytes = 0;
   };
 
   /// Builds the DDG for region \p R of function \p F, with flow-edge
@@ -72,6 +88,11 @@ public:
   unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
   const Node &ddgNode(unsigned N) const { return Nodes[N]; }
 
+  /// Registers defined / used by node \p N (a barrier's aggregate payload
+  /// for summary nodes).
+  SpanRange<Reg> defs(unsigned N) const { return {FactRegs, DefSpan[N]}; }
+  SpanRange<Reg> uses(unsigned N) const { return {FactRegs, UseSpan[N]}; }
+
   /// DDG node index of \p Instr, or -1 when the instruction is not in the
   /// region's real blocks.
   int nodeOfInstr(InstrId Instr) const {
@@ -80,17 +101,18 @@ public:
 
   const std::vector<DepEdge> &edges() const { return Edges; }
 
-  /// Indices into edges() of the edges leaving / entering \p Node.
-  const std::vector<unsigned> &succEdges(unsigned Node) const {
-    return Succ[Node];
+  /// Indices into edges() of the edges leaving / entering \p Node: CSR
+  /// rows, iterable ranges over the flat index arrays.
+  SpanRange<unsigned> succEdges(unsigned Node) const {
+    return {SuccIdx, SuccSpan[Node]};
   }
-  const std::vector<unsigned> &predEdges(unsigned Node) const {
-    return Pred[Node];
+  SpanRange<unsigned> predEdges(unsigned Node) const {
+    return {PredIdx, PredSpan[Node]};
   }
 
   /// True if there is a direct edge From -> To.
   bool hasEdge(unsigned From, unsigned To) const {
-    for (unsigned E : Succ[From])
+    for (unsigned E : succEdges(From))
       if (Edges[E].To == To)
         return true;
     return false;
@@ -101,12 +123,23 @@ public:
     return Ancestors[To].test(From);
   }
 
+  /// Size and reserved-bytes numbers for the obs coldpath counters.
+  Stats stats() const;
+
 private:
   std::vector<Node> Nodes;
   std::vector<int> InstrToNode;
   std::vector<DepEdge> Edges;
-  std::vector<std::vector<unsigned>> Succ;
-  std::vector<std::vector<unsigned>> Pred;
+  /// Per-node register facts, flattened: one arena, two spans per node.
+  SpanArena<Reg> FactRegs;
+  std::vector<ArenaSpan> DefSpan;
+  std::vector<ArenaSpan> UseSpan;
+  /// CSR adjacency: per-node spans into flat edge-index arrays, built in
+  /// one pass after edge discovery.
+  SpanArena<unsigned> SuccIdx;
+  SpanArena<unsigned> PredIdx;
+  std::vector<ArenaSpan> SuccSpan;
+  std::vector<ArenaSpan> PredSpan;
   /// Ancestors[N] = DDG nodes with a dependence path into N.
   std::vector<BitSet> Ancestors;
 };

@@ -2,7 +2,27 @@
 
 #include "analysis/Liveness.h"
 
+#include <utility>
+
 using namespace gis;
+
+bool Liveness::rebuildLocalSets(const Function &F, BlockId B) {
+  BitSet NewUEVar(Universe), NewKill(Universe);
+  for (InstrId Id : F.block(B).instrs()) {
+    const Instruction &I = F.instr(Id);
+    for (Reg R : I.uses()) {
+      unsigned Idx = denseIndex(R);
+      if (!NewKill.test(Idx))
+        NewUEVar.set(Idx);
+    }
+    for (Reg R : I.defs())
+      NewKill.set(denseIndex(R));
+  }
+  bool Changed = !(NewUEVar == UEVar[B]) || !(NewKill == Kill[B]);
+  UEVar[B] = std::move(NewUEVar);
+  Kill[B] = std::move(NewKill);
+  return Changed;
+}
 
 Liveness Liveness::compute(const Function &F) {
   Liveness LV;
@@ -16,24 +36,16 @@ Liveness Liveness::compute(const Function &F) {
   unsigned U = LV.Universe;
   unsigned N = F.numBlocks();
 
-  // Per block: upward-exposed uses and kills.
-  std::vector<BitSet> UEVar(N, BitSet(U)), Kill(N, BitSet(U));
-  for (BlockId B = 0; B != N; ++B) {
-    for (InstrId Id : F.block(B).instrs()) {
-      const Instruction &I = F.instr(Id);
-      for (Reg R : I.uses()) {
-        unsigned Idx = LV.denseIndex(R);
-        if (!Kill[B].test(Idx))
-          UEVar[B].set(Idx);
-      }
-      for (Reg R : I.defs())
-        Kill[B].set(LV.denseIndex(R));
-    }
-  }
+  // Per block: upward-exposed uses and kills.  Cached on the object so
+  // recomputeBlocks() can compare a block's new summary against the old.
+  LV.UEVar.assign(N, BitSet(U));
+  LV.Kill.assign(N, BitSet(U));
+  for (BlockId B = 0; B != N; ++B)
+    LV.rebuildLocalSets(F, B);
 
   // Seed LiveIn with the upward-exposed uses so the "LiveIn is a function
   // of LiveOut" early-out below is valid from the first sweep.
-  LV.LiveIn = UEVar;
+  LV.LiveIn = LV.UEVar;
   LV.LiveOut.assign(N, BitSet(U));
 
   // Backward fixed point: LiveOut(B) = union of LiveIn(S);
@@ -49,8 +61,8 @@ Liveness Liveness::compute(const Function &F) {
       if (Out == LV.LiveOut[B])
         continue; // LiveIn is a function of LiveOut: nothing to redo
       BitSet In = Out;
-      In.subtract(Kill[B]);
-      In.unionWith(UEVar[B]);
+      In.subtract(LV.Kill[B]);
+      In.unionWith(LV.UEVar[B]);
       LV.LiveOut[B] = std::move(Out);
       if (!(In == LV.LiveIn[B])) {
         LV.LiveIn[B] = std::move(In);
@@ -59,6 +71,97 @@ Liveness Liveness::compute(const Function &F) {
     }
   }
   return LV;
+}
+
+Liveness::UpdateResult
+Liveness::recomputeBlocks(const Function &F,
+                          const std::vector<BlockId> &Changed) {
+  UpdateResult R;
+
+  // Renaming may have created fresh registers since the last solve; the
+  // dense per-class indexing then shifts and every cached bit set is in
+  // the wrong coordinate system.  Fall back to a full solve.
+  unsigned NewGPR = F.numRegs(RegClass::GPR);
+  unsigned NewFPR = F.numRegs(RegClass::FPR);
+  unsigned NewCR = F.numRegs(RegClass::CR);
+  if (ClassBase[1] != NewGPR || ClassBase[2] != NewGPR + NewFPR ||
+      Universe != NewGPR + NewFPR + NewCR ||
+      LiveIn.size() != F.numBlocks()) {
+    *this = compute(F);
+    R.Full = true;
+    R.BlocksResolved = F.numBlocks();
+    return R;
+  }
+
+  unsigned N = F.numBlocks();
+
+  // Re-derive the edited blocks' UEVar/Kill summaries.  Unchanged
+  // summaries leave every dataflow equation satisfied: done.
+  std::vector<BlockId> Dirty;
+  std::vector<uint8_t> Seen(N, 0);
+  for (BlockId B : Changed) {
+    if (Seen[B])
+      continue;
+    Seen[B] = 1;
+    if (rebuildLocalSets(F, B))
+      Dirty.push_back(B);
+  }
+  if (Dirty.empty())
+    return R;
+
+  // Affected set: blocks whose solution can depend on a dirty block's
+  // summary are exactly the blocks that reach a dirty block in the CFG
+  // (liveness flows backward along edges) -- collected by a BFS over
+  // predecessor lists.  Every successor of an unaffected block is itself
+  // unaffected, so freezing unaffected live-in sets below is exact.
+  std::vector<uint8_t> Affected(N, 0);
+  std::vector<BlockId> Work = Dirty;
+  for (BlockId B : Work)
+    Affected[B] = 1;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId P : F.block(B).preds())
+      if (!Affected[P]) {
+        Affected[P] = 1;
+        Work.push_back(P);
+      }
+  }
+
+  // Reset the affected blocks to bottom and re-solve the restricted
+  // system; both full and restricted solves converge to the unique least
+  // fixpoint, so the result is bit-identical to a fresh compute().
+  unsigned U = Universe;
+  for (BlockId B = 0; B != N; ++B) {
+    if (!Affected[B])
+      continue;
+    ++R.BlocksResolved;
+    LiveIn[B] = UEVar[B];
+    LiveOut[B].clear();
+  }
+  bool IterChanged = true;
+  while (IterChanged) {
+    IterChanged = false;
+    for (unsigned K = N; K-- > 0;) {
+      BlockId B = K;
+      if (!Affected[B])
+        continue;
+      BitSet Out(U);
+      for (BlockId S : F.block(B).succs())
+        Out.unionWith(LiveIn[S]);
+      if (Out == LiveOut[B])
+        continue;
+      BitSet In = Out;
+      In.subtract(Kill[B]);
+      In.unionWith(UEVar[B]);
+      LiveOut[B] = std::move(Out);
+      if (!(In == LiveIn[B])) {
+        LiveIn[B] = std::move(In);
+        IterChanged = true;
+      }
+    }
+  }
+  return R;
 }
 
 Reg Liveness::regForIndex(unsigned Index) const {

@@ -13,6 +13,19 @@
 /// each speculative motion -- so this analysis is on the compile-time hot
 /// path and uses dense per-class register indexing throughout.
 ///
+/// Incremental maintenance (DESIGN.md section 14): the solver caches each
+/// block's UEVar/Kill summary, so after a code motion -- which edits at
+/// most two blocks -- recomputeBlocks() re-derives only those summaries.
+/// If they are unchanged the old solution still satisfies every dataflow
+/// equation and nothing is done.  Otherwise the blocks whose sets can
+/// depend on a changed summary are exactly the blocks that *reach* a
+/// changed block in the CFG (liveness flows backward); those are reset to
+/// bottom and re-solved with the live-in sets of all unreachable-from
+/// blocks frozen.  The restricted system's least fixpoint coincides with
+/// the full system's because every successor of an unaffected block is
+/// itself unaffected.  Renaming can grow the register universe, shifting
+/// the dense indexing; that (rare) case falls back to a full recompute.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_ANALYSIS_LIVENESS_H
@@ -31,6 +44,18 @@ class Liveness {
 public:
   /// Computes liveness for \p F (CFG must be up to date).
   static Liveness compute(const Function &F);
+
+  /// What recomputeBlocks() ended up doing, for the obs coldpath counters.
+  struct UpdateResult {
+    bool Full = false;           ///< fell back to a whole-function solve
+    unsigned BlocksResolved = 0; ///< blocks re-solved by the delta path
+  };
+
+  /// Exact delta update after instruction motions or renames confined to
+  /// the \p Changed blocks (the CFG must be unchanged since compute()).
+  /// The result is bit-identical to a fresh compute(\p F).
+  UpdateResult recomputeBlocks(const Function &F,
+                               const std::vector<BlockId> &Changed);
 
   /// True if \p R is live on exit from block \p B.
   bool isLiveOut(BlockId B, Reg R) const {
@@ -52,6 +77,21 @@ public:
   /// LivenessSlice to freeze a region's out-of-region boundary).
   std::vector<Reg> liveInRegs(BlockId B) const;
 
+  /// True when both analyses hold identical solutions (same universe and
+  /// identical per-block sets) -- the GIS_SLOWPATH_CHECK cross-check and
+  /// the equivalence tests compare a delta-updated solver against a fresh
+  /// compute() with this.
+  bool sameSetsAs(const Liveness &RHS) const {
+    return ClassBase == RHS.ClassBase && Universe == RHS.Universe &&
+           LiveIn == RHS.LiveIn && LiveOut == RHS.LiveOut;
+  }
+
+  /// Deliberately corrupts the cached live-out set of \p B (fault stage
+  /// "liveness-delta"): the Section 5.3 guard then believes nothing is
+  /// live on exit, so an illegal speculative motion can slip through --
+  /// which the semantic verifier / transaction rollback must catch.
+  void corruptLiveOutForTest(BlockId B) { LiveOut[B].clear(); }
+
 private:
   unsigned denseIndex(Reg R) const {
     GIS_ASSERT(R.isValid(), "liveness query on invalid register");
@@ -60,10 +100,16 @@ private:
 
   Reg regForIndex(unsigned Index) const;
 
+  /// Rebuilds the cached UEVar/Kill summary of \p B from the function's
+  /// current contents; returns true when either set changed.
+  bool rebuildLocalSets(const Function &F, BlockId B);
+
   std::array<unsigned, 3> ClassBase = {0, 0, 0};
   unsigned Universe = 0;
   std::vector<BitSet> LiveIn;  ///< per block
   std::vector<BitSet> LiveOut; ///< per block
+  std::vector<BitSet> UEVar;   ///< per block, cached for delta updates
+  std::vector<BitSet> Kill;    ///< per block, cached for delta updates
 };
 
 } // namespace gis

@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <ostream>
-#include <set>
 
 using namespace gis;
 
@@ -82,8 +81,13 @@ std::vector<unsigned> PDG::equivSet(unsigned A) const {
 
 std::vector<unsigned> PDG::candidateBlocks(unsigned A,
                                            unsigned MaxSpecDepth) const {
-  std::vector<unsigned> Equiv = equivSet(A);
-  std::set<unsigned> Result(Equiv.begin(), Equiv.end());
+  // Flat worklist expansion over a membership marker instead of std::set:
+  // called once per target block on the cold path, where the per-node
+  // red-black tree allocations used to show up.  The returned vector is
+  // sorted ascending (and duplicate-free), exactly the order the std::set
+  // produced -- the global scheduler's candidate construction iterates it
+  // in order and the engine's drop propagation depends on that.
+  std::vector<unsigned> Result = equivSet(A);
 
   if (MaxSpecDepth > 0) {
     // Frontier: A plus its equivalents; expand CSPDG successors
@@ -92,23 +96,29 @@ std::vector<unsigned> PDG::candidateBlocks(unsigned A,
     // it would require duplication (Definition 6), which the prototype
     // forbids ("no duplication of code is allowed", Section 5.1).
     const DomTree &Dom = CDeps->dom();
-    std::set<unsigned> Frontier(Equiv.begin(), Equiv.end());
-    Frontier.insert(A);
+    std::vector<uint8_t> InResult(Region->numNodes(), 0);
+    for (unsigned N : Result)
+      InResult[N] = 1;
+    std::vector<unsigned> Frontier = Result;
+    Frontier.push_back(A);
+    std::vector<unsigned> Next;
     for (unsigned Depth = 0; Depth != MaxSpecDepth; ++Depth) {
-      std::set<unsigned> Next;
+      Next.clear();
       for (unsigned N : Frontier)
         for (unsigned S : CDeps->cspdgSuccs(N))
-          if (S != A && !Result.count(S) && Dom.strictlyDominates(A, S))
-            Next.insert(S);
-      for (unsigned S : Next)
-        Result.insert(S);
-      Frontier = std::move(Next);
+          if (S != A && !InResult[S] && Dom.strictlyDominates(A, S)) {
+            InResult[S] = 1;
+            Next.push_back(S);
+          }
+      Result.insert(Result.end(), Next.begin(), Next.end());
+      std::swap(Frontier, Next);
       if (Frontier.empty())
         break;
     }
   }
 
-  return std::vector<unsigned>(Result.begin(), Result.end());
+  std::sort(Result.begin(), Result.end());
+  return Result;
 }
 
 void PDG::print(const Function &F, std::ostream &OS) const {

@@ -71,6 +71,16 @@ public:
   /// registers created since build() are covered.
   void recompute(const Function &F);
 
+  /// Exact delta update after motions/renames confined to the \p Changed
+  /// region blocks -- the region-restricted mirror of
+  /// Liveness::recomputeBlocks (same invariants; see analysis/Liveness.h):
+  /// re-derive the edited blocks' UEVar/Kill summaries, and when one
+  /// changed, re-solve only the region blocks that reach it, freezing the
+  /// rest.  A grown register universe (renaming) falls back to a full
+  /// recompute().  The result is bit-identical to recompute(\p F).
+  Liveness::UpdateResult
+  recomputeBlocks(const Function &F, const std::vector<BlockId> &Changed);
+
   /// True if \p B is one of the region's real blocks (the only blocks this
   /// slice can answer queries for).
   bool ownsBlock(BlockId B) const {
@@ -83,7 +93,22 @@ public:
   /// True if \p R is live on entry to region block \p B.
   bool isLiveIn(BlockId B, Reg R) const;
 
+  /// True when both slices hold identical solutions, for the
+  /// GIS_SLOWPATH_CHECK cross-check and the equivalence tests.
+  bool sameSetsAs(const LivenessSlice &RHS) const {
+    return ClassBase == RHS.ClassBase && Universe == RHS.Universe &&
+           LiveIns == RHS.LiveIns && LiveOuts == RHS.LiveOuts;
+  }
+
+  /// Deliberately corrupts the cached live-out set of region block \p B
+  /// (fault stage "liveness-delta"; see Liveness::corruptLiveOutForTest).
+  void corruptLiveOutForTest(BlockId B) { LiveOuts[slotOf(B)].clear(); }
+
 private:
+  /// Rebuilds slot \p S's UEVar/Kill summary from the function's current
+  /// contents; returns true when either set changed.
+  bool rebuildSlotSets(const Function &F, unsigned S);
+
   unsigned denseIndex(Reg R) const {
     GIS_ASSERT(R.isValid(), "liveness query on invalid register");
     return ClassBase[static_cast<unsigned>(R.regClass())] + R.index();
@@ -97,6 +122,9 @@ private:
   std::vector<int> SlotOf;     ///< BlockId -> slot, -1 outside
   /// Per slot: slots of in-region CFG successors (back edges included).
   std::vector<std::vector<unsigned>> InSuccs;
+  /// Per slot: slots of in-region CFG predecessors (the inverse of
+  /// InSuccs), for the delta path's backward affected-set walk.
+  std::vector<std::vector<unsigned>> InPreds;
   /// Per slot: union of the frozen live-in sets of out-of-region CFG
   /// successors (loop exits and collapsed child-loop entries), sorted.
   /// Stored as Reg values so the set survives universe growth.
@@ -106,6 +134,10 @@ private:
   unsigned Universe = 0;
   std::vector<BitSet> LiveIns;  ///< per slot
   std::vector<BitSet> LiveOuts; ///< per slot
+  std::vector<BitSet> UEVars;   ///< per slot, cached for delta updates
+  std::vector<BitSet> Kills;    ///< per slot, cached for delta updates
+  /// Per slot: BoundaryBits = Boundary in the current dense indexing.
+  std::vector<BitSet> BoundaryBits;
 };
 
 /// One region's schedulable slice: an owning snapshot of the region shape

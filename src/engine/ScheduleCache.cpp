@@ -84,6 +84,11 @@ uint64_t gis::fingerprintOptions(const PipelineOptions &Opts) {
   // scheduling is bit-identical to sequential (see sched/Pipeline.h), so
   // cache entries are shared across --region-jobs values.  Asserted by
   // tests/region_parallel_test.cpp.
+  //
+  // Incremental is left out for the same reason: the incremental cold path
+  // emits schedules bit-identical to the recompute-from-scratch one (see
+  // sched/ListScheduler.h), so entries are shared across --no-incremental.
+  // Asserted by tests/coldpath_test.cpp.
   return H.hash();
 }
 

@@ -51,6 +51,12 @@ constexpr CounterInfo Infos[NumCounters] = {
     {"serve.accepted", "daemon requests admitted"},
     {"serve.shed", "daemon requests shed (queue full)"},
     {"serve.timeouts", "daemon requests past deadline"},
+    {"coldpath.arena_bytes", "bytes reserved by DDG arenas"},
+    {"coldpath.ddg_nodes", "DDG nodes built"},
+    {"coldpath.liveness_delta", "blocks re-solved by incremental liveness"},
+    {"coldpath.liveness_full", "full liveness recomputations"},
+    {"coldpath.heur_block_recomputes", "per-block D/CP refreshes"},
+    {"coldpath.ready_fastforwards", "empty ready-list ranges skipped"},
 };
 
 } // namespace

@@ -94,6 +94,17 @@ enum class CounterId : unsigned {
   ServeShed,     ///< requests rejected because the queue was full
   ServeTimeouts, ///< requests whose deadline expired before compile
 
+  // Cold-path fast-path accounting (DESIGN.md section 14).  Arena bytes
+  // and node counts describe the graphs built; the delta/full pairs split
+  // incremental updates from recompute-from-scratch fallbacks, so the
+  // incremental machinery's engagement is observable.
+  ColdArenaBytes,          ///< bytes reserved by DDG arenas (all regions)
+  ColdDdgNodes,            ///< DDG nodes built (all regions)
+  ColdLivenessDelta,       ///< blocks re-solved by incremental liveness
+  ColdLivenessFull,        ///< full liveness recomputations
+  ColdHeurBlockRecomputes, ///< per-block D/CP refreshes (incremental path)
+  ColdFastForwards,        ///< empty ready-list cycle ranges skipped
+
   NumCounters
 };
 
@@ -141,6 +152,13 @@ inline constexpr CounterId PersistEvictions = CounterId::PersistEvictions;
 inline constexpr CounterId ServeAccepted = CounterId::ServeAccepted;
 inline constexpr CounterId ServeShed = CounterId::ServeShed;
 inline constexpr CounterId ServeTimeouts = CounterId::ServeTimeouts;
+inline constexpr CounterId ColdArenaBytes = CounterId::ColdArenaBytes;
+inline constexpr CounterId ColdDdgNodes = CounterId::ColdDdgNodes;
+inline constexpr CounterId ColdLivenessDelta = CounterId::ColdLivenessDelta;
+inline constexpr CounterId ColdLivenessFull = CounterId::ColdLivenessFull;
+inline constexpr CounterId ColdHeurBlockRecomputes =
+    CounterId::ColdHeurBlockRecomputes;
+inline constexpr CounterId ColdFastForwards = CounterId::ColdFastForwards;
 
 /// Stable machine-readable key of a counter ("motion.useful", "rule.delay_useful", ...).
 std::string_view counterKey(CounterId Id);

@@ -8,6 +8,7 @@
 #include "sched/Heuristics.h"
 #include "sched/ListScheduler.h"
 #include "sched/Renaming.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -39,10 +40,15 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
   const DataDeps &DD = P.dataDeps();
   Stats.RegionsScheduled = 1;
 
-  auto BumpObs = [&](obs::CounterId Id) {
+  auto BumpObs = [&](obs::CounterId Id, uint64_t N = 1) {
     if (Sink.Counters)
-      Sink.Counters->bump(Id);
+      Sink.Counters->bump(Id, N);
   };
+  {
+    DataDeps::Stats DS = DD.stats();
+    BumpObs(obs::ColdArenaBytes, DS.ArenaBytes);
+    BumpObs(obs::ColdDdgNodes, DS.Nodes);
+  }
 
   // Topological position of each region node (for the Fixed/Blocked
   // disposition of non-candidate predecessors).
@@ -66,15 +72,48 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     SLV = Slice->liveness();
   else
     LV = Liveness::compute(F);
-  bool LivenessDirty = false;
+  // Dirty-set maintenance (DESIGN.md section 14): motions and renames
+  // record which blocks changed; freshening re-solves only the affected
+  // cone (or everything, after ForceFullLiveness -- the self-heal path of
+  // the liveness-delta fault and the --no-incremental slow path).
+  std::vector<BlockId> LivenessDirtyBlocks;
+  bool ForceFullLiveness = false;
+  auto MarkLivenessDirty = [&](BlockId B) {
+    LivenessDirtyBlocks.push_back(B);
+  };
   auto FreshenLiveness = [&]() {
-    if (!LivenessDirty)
+    if (LivenessDirtyBlocks.empty() && !ForceFullLiveness)
       return;
-    if (UseSlice)
-      SLV.recompute(F);
-    else
-      LV = Liveness::compute(F);
-    LivenessDirty = false;
+    if (!Opts.Incremental || ForceFullLiveness) {
+      if (UseSlice)
+        SLV.recompute(F);
+      else
+        LV = Liveness::compute(F);
+      BumpObs(obs::ColdLivenessFull);
+      ForceFullLiveness = false;
+    } else {
+      Liveness::UpdateResult U =
+          UseSlice ? SLV.recomputeBlocks(F, LivenessDirtyBlocks)
+                   : LV.recomputeBlocks(F, LivenessDirtyBlocks);
+      if (U.Full)
+        BumpObs(obs::ColdLivenessFull);
+      else
+        BumpObs(obs::ColdLivenessDelta, U.BlocksResolved);
+#ifdef GIS_SLOWPATH_CHECK
+      if (UseSlice) {
+        LivenessSlice Fresh = Slice->liveness();
+        Fresh.recompute(F);
+        GIS_ASSERT(SLV.sameSetsAs(Fresh),
+                   "slowpath check: incremental slice liveness diverged "
+                   "from a fresh recompute");
+      } else {
+        GIS_ASSERT(LV.sameSetsAs(Liveness::compute(F)),
+                   "slowpath check: incremental liveness diverged from a "
+                   "fresh recompute");
+      }
+#endif
+    }
+    LivenessDirtyBlocks.clear();
   };
   std::function<bool(BlockId, Reg)> IsLiveOut = [&](BlockId B, Reg Rg) {
     return UseSlice ? SLV.isLiveOut(B, Rg) : LV.isLiveOut(B, Rg);
@@ -82,6 +121,28 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
 
   unsigned SpecDepth =
       Opts.Level == SchedLevel::Speculative ? Opts.MaxSpecDepth : 0;
+
+  // Per-region-node membership (DDG nodes currently placed there, in
+  // ascending index order) and the set of nodes whose membership changed
+  // since the last heuristics refresh.  D/CP only read same-block
+  // successors, so refreshing exactly the dirty blocks reproduces a full
+  // computeHeuristics() bit for bit (sched/Heuristics.h).
+  std::vector<std::vector<unsigned>> MembersOf(R.numNodes());
+  for (unsigned N = 0; N != DD.numNodes(); ++N)
+    MembersOf[CurNode[N]].push_back(N);
+  std::vector<uint8_t> HeurDirtyFlag(R.numNodes(), 0);
+  std::vector<unsigned> HeurDirty;
+  bool HeurForceFull = false;
+  auto MarkHeurDirty = [&](unsigned RN) {
+    if (!HeurDirtyFlag[RN]) {
+      HeurDirtyFlag[RN] = 1;
+      HeurDirty.push_back(RN);
+    }
+  };
+
+  // Heuristics reflect the current placement; refreshed at each target
+  // block (the previous block's motions changed block contents).
+  Heuristics H = computeHeuristics(F, DD, MD, CurNode);
 
   // Process the region's real blocks in topological order.
   for (unsigned A : R.topoOrder()) {
@@ -93,9 +154,39 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     obs::TraceSpan BlockSpan("block", "sched", "block",
                              static_cast<int64_t>(ABlock));
 
-    // Heuristics reflect the current placement (recomputed per block: the
-    // previous block's motions changed block contents).
-    Heuristics H = computeHeuristics(F, DD, MD, CurNode);
+    if (!Opts.Incremental || HeurForceFull) {
+      H = computeHeuristics(F, DD, MD, CurNode);
+      for (unsigned RN : HeurDirty)
+        HeurDirtyFlag[RN] = 0;
+      HeurDirty.clear();
+      HeurForceFull = false;
+    } else {
+      std::sort(HeurDirty.begin(), HeurDirty.end());
+      for (unsigned RN : HeurDirty) {
+        recomputeHeuristicsForBlock(F, DD, MD, CurNode, MembersOf[RN], H);
+        HeurDirtyFlag[RN] = 0;
+        BumpObs(obs::ColdHeurBlockRecomputes);
+      }
+      HeurDirty.clear();
+#ifdef GIS_SLOWPATH_CHECK
+      {
+        Heuristics Ref = computeHeuristics(F, DD, MD, CurNode);
+        GIS_ASSERT(Ref.D == H.D && Ref.CP == H.CP,
+                   "slowpath check: incremental heuristics diverged from a "
+                   "full recompute");
+      }
+#endif
+    }
+    if (FaultInjector::instance().shouldFire("heur-delta")) {
+      // A buggy per-block refresh would leave wrong priorities behind.
+      // Zeroed D/CP perturb pick order only, so the resulting schedule is
+      // legal but different; the force-full flag is the next refresh's
+      // self-heal.  Fired after the slowpath cross-check so a CHECK build
+      // validates the real update, not the sabotage.
+      std::fill(H.D.begin(), H.D.end(), 0u);
+      std::fill(H.CP.begin(), H.CP.end(), 0u);
+      HeurForceFull = true;
+    }
 
     // Own instructions, in current program order.
     std::vector<unsigned> Own;
@@ -156,6 +247,20 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
         return false; // already failing: no further motion
       InstrId I = DD.ddgNode(Node).Instr;
       FreshenLiveness();
+      if (FaultInjector::instance().shouldFire("liveness-delta")) {
+        // A buggy delta update would leave a stale live-on-exit set
+        // behind.  Emptying A's set lets speculative defs that should be
+        // vetoed slip through; the force-full flag makes the next freshen
+        // self-heal, so the corruption window is exactly this guard
+        // decision and the semantic verifier/rollback must catch whatever
+        // escapes.  Fired after FreshenLiveness (and its slowpath
+        // cross-check), which validates the real update, not the sabotage.
+        if (UseSlice)
+          SLV.corruptLiveOutForTest(ABlock);
+        else
+          LV.corruptLiveOutForTest(ABlock);
+        ForceFullLiveness = true;
+      }
       // Collect conflicting defs first; rename only if all are renameable.
       std::vector<Reg> Conflicts;
       for (Reg D : F.instr(I).defs())
@@ -185,7 +290,9 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
         }
         ++Stats.Renames;
         BumpObs(obs::SpecRenames);
-        LivenessDirty = true;
+        // Renaming rewrites defs/uses inside Home only (the def was not
+        // live out), so Home is the only block whose local sets changed.
+        MarkLivenessDirty(Home);
       }
       return true;
     };
@@ -212,7 +319,15 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
       // installed after the engine finishes.
       F.block(ABlock).instrs().push_back(I);
       CurNode[Node] = A;
-      LivenessDirty = true;
+      // Both endpoints changed contents (liveness) and membership (D/CP).
+      MarkLivenessDirty(Home);
+      MarkLivenessDirty(ABlock);
+      MarkHeurDirty(From);
+      MarkHeurDirty(A);
+      std::vector<unsigned> &FromM = MembersOf[From];
+      FromM.erase(std::lower_bound(FromM.begin(), FromM.end(), Node));
+      std::vector<unsigned> &ToM = MembersOf[A];
+      ToM.insert(std::lower_bound(ToM.begin(), ToM.end(), Node), Node);
       if (UofA.count(From))
         ++Stats.UsefulMotions;
       else
@@ -226,7 +341,7 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
     Obs.TargetBlock = ABlock;
     Obs.HomeBlock = [&](unsigned Node) { return R.node(CurNode[Node]).Block; };
 
-    ListScheduler Engine(F, DD, MD, H, Opts.Order);
+    ListScheduler Engine(F, DD, MD, H, Opts.Order, Opts.Incremental);
     EngineResult Sched =
         Engine.run(Own, External, Disposition, SpecCheck, OnSchedule, &Obs);
     if (!Sched.S.isOk())

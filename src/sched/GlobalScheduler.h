@@ -55,6 +55,12 @@ struct GlobalSchedOptions {
   /// Optional execution profile: speculative candidates from hotter
   /// blocks win ties (paper Section 1).  Borrowed pointer; may be null.
   const ProfileData *Profile = nullptr;
+  /// Maintain liveness, heuristics and the engine's ready pool
+  /// incrementally across code motions (DESIGN.md section 14).  Emitted
+  /// schedules are bit-identical either way; false selects the
+  /// recompute-from-scratch slow path -- the --no-incremental escape hatch
+  /// and the oracle that GIS_SLOWPATH_CHECK builds compare against.
+  bool Incremental = true;
 };
 
 /// Statistics of one scheduling run.

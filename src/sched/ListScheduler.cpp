@@ -3,9 +3,11 @@
 #include "sched/ListScheduler.h"
 
 #include "obs/Trace.h"
+#include "support/Assert.h"
 #include "support/Format.h"
 
 #include <algorithm>
+#include <queue>
 #include <unordered_map>
 
 using namespace gis;
@@ -235,6 +237,30 @@ EngineResult ListScheduler::run(
   uint64_t Cycle = 0;
   constexpr uint64_t CycleCap = 1'000'000;
 
+  // Incremental ready pool (DESIGN.md section 14).  A candidate enters the
+  // pool exactly once, when its candidate-predecessor count hits zero; at
+  // that point its ReadyTime is final, because only scheduled predecessors
+  // ever raise it.  Future holds pool entries whose ReadyTime is still in
+  // the future, keyed by it; Live holds the currently eligible ones.  The
+  // target block's own terminator is held aside until it is the last own
+  // instruction, mirroring the full scan's positional gate.
+  std::priority_queue<std::pair<uint64_t, unsigned>,
+                      std::vector<std::pair<uint64_t, unsigned>>,
+                      std::greater<std::pair<uint64_t, unsigned>>>
+      Future;
+  std::vector<unsigned> Live;
+  std::vector<unsigned> HeldTerm;
+  if (Incremental)
+    for (unsigned K = 0; K != Cands.size(); ++K) {
+      const CandState &C = Cands[K];
+      if (C.Dropped || C.PredsRemaining > 0)
+        continue;
+      if (C.Own && C.IsTerminator && OwnRemaining > 1)
+        HeldTerm.push_back(K);
+      else
+        Future.push({C.ReadyTime, K});
+    }
+
   auto OnScheduled = [&](CandState &C, uint64_t At) {
     C.Scheduled = true;
     Result.Order.push_back(C.DDGNode);
@@ -256,6 +282,12 @@ EngineResult ListScheduler::run(
       }
       --S.PredsRemaining;
       S.ReadyTime = std::max(S.ReadyTime, At + Exec + E.Delay);
+      if (Incremental && S.PredsRemaining == 0 && !S.Dropped) {
+        if (S.Own && S.IsTerminator && OwnRemaining > 1)
+          HeldTerm.push_back(It->second);
+        else
+          Future.push({S.ReadyTime, It->second});
+      }
     }
   };
 
@@ -269,22 +301,84 @@ EngineResult ListScheduler::run(
       return Result;
     }
 
-    // Ready list for this cycle, best-first.
+    // Ready list for this cycle, best-first.  The comparator is a strict
+    // total order (rule 7 breaks every tie on the unique original order),
+    // so equal ready *sets* sort to equal sequences -- which is what makes
+    // the event-driven pool below bit-identical to the full scan.
     std::vector<unsigned> Ready;
-    for (unsigned K = 0; K != Cands.size(); ++K) {
-      CandState &C = Cands[K];
+    auto EligibleNow = [&](const CandState &C) {
       if (C.Scheduled || C.Dropped || C.PredsRemaining > 0 ||
           C.ReadyTime > Cycle)
-        continue;
+        return false;
       // The target block's terminator stays positionally last: gate it
       // until it is the only own instruction left.
       if (C.Own && C.IsTerminator && OwnRemaining > 1)
+        return false;
+      return true;
+    };
+    if (Incremental) {
+      while (!Future.empty() && Future.top().first <= Cycle) {
+        Live.push_back(Future.top().second);
+        Future.pop();
+      }
+      Live.erase(std::remove_if(Live.begin(), Live.end(),
+                                [&](unsigned K) {
+                                  return Cands[K].Scheduled ||
+                                         Cands[K].Dropped;
+                                }),
+                 Live.end());
+      if (Live.empty()) {
+        // Fast-forward: with nothing live, the full scan would emit no
+        // trace and pick nothing until the next ReadyTime threshold, so
+        // jumping straight there is observably identical.  With no future
+        // event either, jump to the cap to reproduce the slow path's
+        // divergence failure verbatim.
+        uint64_t Next = Future.empty() ? CycleCap : Future.top().first;
+#ifdef GIS_SLOWPATH_CHECK
+        for (const CandState &C : Cands)
+          GIS_ASSERT(!EligibleNow(C),
+                     "slowpath check: fast-forward past a live candidate");
+        uint64_t OracleNext = ~0ull;
+        for (const CandState &C : Cands) {
+          if (C.Scheduled || C.Dropped || C.PredsRemaining > 0 ||
+              (C.Own && C.IsTerminator && OwnRemaining > 1))
+            continue;
+          OracleNext = std::min(OracleNext, C.ReadyTime);
+        }
+        GIS_ASSERT(Future.empty() ? OracleNext == ~0ull
+                                  : OracleNext == Future.top().first,
+                   "slowpath check: fast-forward target mismatch");
+#endif
+        if (Obs && Obs->Counters)
+          Obs->Counters->bump(obs::ColdFastForwards);
+        Cycle = Next;
         continue;
-      Ready.push_back(K);
+      }
+      Ready = Live;
+    } else {
+      for (unsigned K = 0; K != Cands.size(); ++K)
+        if (EligibleNow(Cands[K]))
+          Ready.push_back(K);
     }
     std::sort(Ready.begin(), Ready.end(), [&](unsigned A, unsigned B) {
       return Better(Cands[A], Cands[B]);
     });
+#ifdef GIS_SLOWPATH_CHECK
+    if (Incremental) {
+      // Cross-check every cycle's ready set against the full scan the
+      // slow path would have made.
+      std::vector<unsigned> Oracle;
+      for (unsigned K = 0; K != Cands.size(); ++K)
+        if (EligibleNow(Cands[K]))
+          Oracle.push_back(K);
+      std::sort(Oracle.begin(), Oracle.end(), [&](unsigned A, unsigned B) {
+        return Better(Cands[A], Cands[B]);
+      });
+      GIS_ASSERT(Oracle == Ready,
+                 "slowpath check: incremental ready set diverged from the "
+                 "full scan");
+    }
+#endif
     if (!Ready.empty())
       obs::Tracer::instance().instant("cycle", "cycle", "cycle",
                                       static_cast<int64_t>(Cycle), "ready",
@@ -373,8 +467,17 @@ EngineResult ListScheduler::run(
         return Result;
       if (OnSchedule)
         OnSchedule(C.DDGNode, !C.Own);
-      if (C.Own && --OwnRemaining == 0)
-        break; // target block complete; externals stop here too
+      if (C.Own) {
+        if (--OwnRemaining == 0)
+          break; // target block complete; externals stop here too
+        if (Incremental && OwnRemaining == 1) {
+          // The positional gate lifts next cycle, exactly when the full
+          // scan would first admit the terminator.
+          for (unsigned T : HeldTerm)
+            Future.push({Cands[T].ReadyTime, T});
+          HeldTerm.clear();
+        }
+      }
     }
 
     ++Cycle;

@@ -102,10 +102,18 @@ struct EngineResult {
 class ListScheduler {
 public:
   /// The engine borrows all four references; they must outlive it.
+  ///
+  /// \p Incremental selects the event-driven ready pool (DESIGN.md
+  /// section 14): successor-arming counters feed a ReadyTime-keyed event
+  /// queue instead of rescanning every candidate each cycle, and cycles
+  /// with an empty ready list are skipped in one jump.  Picks are
+  /// bit-identical either way; the full-scan path remains as the oracle
+  /// for GIS_SLOWPATH_CHECK builds and the --no-incremental escape hatch.
   ListScheduler(const Function &F, const DataDeps &DD,
                 const MachineDescription &MD, const Heuristics &H,
-                PriorityOrder Order = PriorityOrder::Paper)
-      : F(F), DD(DD), MD(MD), H(H), Order(Order) {}
+                PriorityOrder Order = PriorityOrder::Paper,
+                bool Incremental = true)
+      : F(F), DD(DD), MD(MD), H(H), Order(Order), Incremental(Incremental) {}
 
   /// Schedules a target block.
   ///
@@ -140,6 +148,7 @@ private:
   const MachineDescription &MD;
   const Heuristics &H;
   PriorityOrder Order;
+  bool Incremental;
 };
 
 } // namespace gis

@@ -18,12 +18,13 @@ namespace {
 /// instructions as the only candidates.
 void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
                           const SchedRegion &R, LocalSchedStats &Stats,
-                          const obs::SchedSink &Sink);
+                          const obs::SchedSink &Sink, bool Incremental);
 
 } // namespace
 
 LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
-                                   const obs::SchedSink &Sink) {
+                                   const obs::SchedSink &Sink,
+                                   bool Incremental) {
   LocalSchedStats Stats;
   F.recomputeCFG();
   LoopInfo LI = LoopInfo::compute(F);
@@ -34,7 +35,7 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
   if (!LI.isReducible()) {
     for (BlockId B : F.layout())
       scheduleRegionBlocks(F, MD, SchedRegion::buildSingleBlock(F, B), Stats,
-                           Sink);
+                           Sink, Incremental);
     return Stats;
   }
 
@@ -48,7 +49,7 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
 
   for (int RegionId : RegionIds) {
     SchedRegion R = SchedRegion::build(F, LI, RegionId);
-    scheduleRegionBlocks(F, MD, R, Stats, Sink);
+    scheduleRegionBlocks(F, MD, R, Stats, Sink, Incremental);
   }
   return Stats;
 }
@@ -57,14 +58,14 @@ namespace {
 
 void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
                           const SchedRegion &R, LocalSchedStats &Stats,
-                          const obs::SchedSink &Sink) {
+                          const obs::SchedSink &Sink, bool Incremental) {
   DataDeps DD = DataDeps::compute(F, R, MD);
 
   std::vector<unsigned> CurNode(DD.numNodes());
   for (unsigned N = 0; N != DD.numNodes(); ++N)
     CurNode[N] = DD.ddgNode(N).RegionNode;
   Heuristics H = computeHeuristics(F, DD, MD, CurNode);
-  ListScheduler Engine(F, DD, MD, H);
+  ListScheduler Engine(F, DD, MD, H, PriorityOrder::Paper, Incremental);
 
   auto AllFixed = [](unsigned) { return PredDisposition::Fixed; };
   auto NoSpec = [](unsigned) { return true; };

@@ -36,9 +36,12 @@ struct LocalSchedStats {
 /// Reorders the instructions of every basic block of \p F for the machine
 /// \p MD, respecting all data dependences.  The CFG never changes.
 /// \p Sink optionally collects observability counters and decision records
-/// (src/obs/); local picks carry stage tag "local".
+/// (src/obs/); local picks carry stage tag "local".  \p Incremental
+/// selects the engine's event-driven ready pool (bit-identical output;
+/// see sched/ListScheduler.h).
 LocalSchedStats scheduleLocal(Function &F, const MachineDescription &MD,
-                              const obs::SchedSink &Sink = {});
+                              const obs::SchedSink &Sink = {},
+                              bool Incremental = true);
 
 } // namespace gis
 

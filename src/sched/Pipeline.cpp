@@ -216,6 +216,7 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
   GOpts.EnableRenaming = Ctx.Opts.EnableRenaming;
   GOpts.Order = Ctx.Opts.Order;
   GOpts.Profile = Ctx.Opts.Profile;
+  GOpts.Incremental = Ctx.Opts.Incremental;
 
   auto RunTask = [&](RegionTask &T) {
     obs::TraceSpan RegionSpan("region", "region", "loop",
@@ -601,7 +602,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
             Sink.Counters = &Delta.Counters;
           if (Opts.CollectDecisions)
             Sink.Decisions = &Delta.Decisions;
-          Delta.Local = scheduleLocal(F, MD, Sink);
+          Delta.Local = scheduleLocal(F, MD, Sink, Opts.Incremental);
           return Status::ok();
         },
         /*RegionScoped=*/false);
@@ -655,7 +656,7 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
               Sink.Counters = &Delta.Counters;
             if (Opts.CollectDecisions)
               Sink.Decisions = &Delta.Decisions;
-            Delta.Local = scheduleLocal(F, MD, Sink);
+            Delta.Local = scheduleLocal(F, MD, Sink, Opts.Incremental);
             return Status::ok();
           },
           /*RegionScoped=*/false);

@@ -24,6 +24,14 @@
 /// instead of IR corruption, so crash recovery of the disk cache is tested
 /// with the same deterministic fail-at-Nth machinery.
 ///
+/// The global scheduler's incremental fast path (DESIGN.md section 14)
+/// registers two more: "liveness-delta" empties the target block's
+/// live-on-exit set right after a freshen (stale-delta simulation; illegal
+/// speculation may slip past the Section 5.3 guard, and the verifier or
+/// rollback must catch it), and "heur-delta" zeroes the D/CP arrays after
+/// a refresh (priority-only corruption; the schedule may differ but stays
+/// legal).  Both set a force-full flag so the next update self-heals.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SUPPORT_FAULTINJECTION_H

@@ -130,6 +130,55 @@ TEST(ObsCounters, ScheduleReportCarriesCounters) {
                 R.Stats.Global.SpeculativeMotions);
 }
 
+// Cold-path instrumentation (DESIGN.md section 14): the coldpath.* group
+// must reflect the configured mode -- the delta counters only move when
+// the incremental path is on, the structural counters (arena bytes, DDG
+// nodes) describe the same graphs either way, and everything outside the
+// group is identical across modes because the emitted schedules are.
+TEST(ObsCounters, ColdpathCountersTrackIncrementalMode) {
+  for (uint64_t Seed : {3u, 11u, 27u}) {
+    std::string Source = generateRandomMiniC(Seed);
+    std::unique_ptr<Module> Inc = compileMiniCOrDie(Source);
+    std::unique_ptr<Module> Full = compileMiniCOrDie(Source);
+
+    PipelineOptions IOpts;
+    IOpts.Level = SchedLevel::Speculative;
+    PipelineOptions FOpts = IOpts;
+    FOpts.Incremental = false;
+
+    PipelineStats IS = scheduleModule(*Inc, MachineDescription::rs6k(), IOpts);
+    PipelineStats FS = scheduleModule(*Full, MachineDescription::rs6k(), FOpts);
+    std::string Tag = "seed " + std::to_string(Seed);
+
+    // Both modes build the same dependence graphs.
+    EXPECT_GT(IS.Counters.get(obs::ColdDdgNodes), 0u) << Tag;
+    EXPECT_GT(IS.Counters.get(obs::ColdArenaBytes), 0u) << Tag;
+    EXPECT_EQ(IS.Counters.get(obs::ColdDdgNodes),
+              FS.Counters.get(obs::ColdDdgNodes))
+        << Tag;
+    EXPECT_EQ(IS.Counters.get(obs::ColdArenaBytes),
+              FS.Counters.get(obs::ColdArenaBytes))
+        << Tag;
+
+    // The delta machinery never engages with --no-incremental.
+    EXPECT_EQ(FS.Counters.get(obs::ColdLivenessDelta), 0u) << Tag;
+    EXPECT_EQ(FS.Counters.get(obs::ColdHeurBlockRecomputes), 0u) << Tag;
+    EXPECT_EQ(FS.Counters.get(obs::ColdFastForwards), 0u) << Tag;
+
+    // Outside the coldpath group the runs are indistinguishable.
+    obs::CounterSet A = IS.Counters, B = FS.Counters;
+    for (obs::CounterId Id :
+         {obs::ColdArenaBytes, obs::ColdDdgNodes, obs::ColdLivenessDelta,
+          obs::ColdLivenessFull, obs::ColdHeurBlockRecomputes,
+          obs::ColdFastForwards}) {
+      A.V[static_cast<unsigned>(Id)] = 0;
+      B.V[static_cast<unsigned>(Id)] = 0;
+    }
+    EXPECT_TRUE(A == B) << Tag;
+    EXPECT_EQ(moduleToString(*Inc), moduleToString(*Full)) << Tag;
+  }
+}
+
 TEST(ObsCounters, CollectionOffLeavesRegistryEmpty) {
   std::unique_ptr<Module> M = compileMiniCOrDie(generateRandomMiniC(7));
   PipelineOptions Opts;
