@@ -15,6 +15,7 @@
 
 #include "BenchCommon.h"
 
+#include "obs/Counters.h"
 #include "workloads/RandomProgram.h"
 
 #include <benchmark/benchmark.h>
@@ -42,6 +43,9 @@ std::vector<std::string> batchSources() {
 struct ColdRun {
   double Seconds = 0;
   unsigned Functions = 0;
+  /// Batch totals of the coldpath.* registry (identical every rep: the
+  /// machinery is deterministic, so whichever rep wins carries them).
+  obs::CounterSet Counters;
   double funcsPerSec() const {
     return Seconds > 0 ? Functions / Seconds : 0.0;
   }
@@ -58,7 +62,8 @@ ColdRun measureCold(const std::vector<std::string> &Sources,
     auto Start = Clock::now();
     for (const std::string &Source : Sources) {
       auto M = compileMiniCOrDie(Source);
-      scheduleModule(*M, MachineDescription::rs6k(), Opts);
+      PipelineStats Stats = scheduleModule(*M, MachineDescription::rs6k(), Opts);
+      R.Counters += Stats.Counters;
       R.Functions += static_cast<unsigned>(M->functions().size());
     }
     R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
@@ -100,7 +105,8 @@ double recordedGate(const char *Path) {
 }
 
 std::string jsonSection(const std::vector<MatrixPoint> &Points,
-                        unsigned Functions, double Gate) {
+                        unsigned Functions, double Gate,
+                        const obs::CounterSet &GateCounters) {
   std::string S = "{\n";
   S += "    \"batch_modules\": " + std::to_string(BatchModules) + ",\n";
   S += "    \"batch_functions\": " + std::to_string(Functions) + ",\n";
@@ -117,8 +123,29 @@ std::string jsonSection(const std::vector<MatrixPoint> &Points,
                   K + 1 == Points.size() ? "" : ",");
     S += Line;
   }
+  // Machinery totals of the gate configuration's batch (DESIGN.md
+  // section 15): how much work the round-two incremental pieces saved.
+  S += "    ],\n    \"gate_counters\": {\n";
+  const struct {
+    const char *Key;
+    obs::CounterId Id;
+  } GateKeys[] = {
+      {"disambig_cache_hits", obs::ColdDisambigCacheHits},
+      {"disambig_cache_misses", obs::ColdDisambigCacheMisses},
+      {"ckpt_bytes", obs::ColdCkptBytes},
+      {"verify_blocks_scoped", obs::ColdVerifyBlocksScoped},
+      {"verify_blocks_total", obs::ColdVerifyBlocksTotal},
+  };
+  for (size_t K = 0; K != std::size(GateKeys); ++K) {
+    std::snprintf(Line, sizeof(Line), "      \"%s\": %llu%s\n",
+                  GateKeys[K].Key,
+                  static_cast<unsigned long long>(
+                      GateCounters.get(GateKeys[K].Id)),
+                  K + 1 == std::size(GateKeys) ? "" : ",");
+    S += Line;
+  }
   std::snprintf(Line, sizeof(Line),
-                "    ],\n    \"gate_funcs_per_sec\": %.1f,\n"
+                "    },\n    \"gate_funcs_per_sec\": %.1f,\n"
                 "    \"gate_drop_tolerance\": 0.10\n  }",
                 Gate);
   S += Line;
@@ -141,6 +168,7 @@ int runE13() {
   std::vector<MatrixPoint> Points;
   unsigned Functions = 0;
   double GateValue = 0; // incremental speculative -O0
+  obs::CounterSet GateCounters;
   for (unsigned OptLevel : {0u, 2u}) {
     for (const char *Level : {"useful", "speculative"}) {
       double FullRate = 0;
@@ -158,8 +186,10 @@ int runE13() {
         double Speedup = FullRate > 0 ? Rate / FullRate : 0.0;
         Points.push_back({OptLevel, Level, Incremental, Rate, Speedup});
         if (Incremental && OptLevel == 0 &&
-            std::string(Level) == "speculative")
+            std::string(Level) == "speculative") {
           GateValue = Rate;
+          GateCounters = R.Counters;
+        }
         std::printf("%6s%14s%14s%14.1f%11.2fx\n",
                     OptLevel ? "-O2" : "-O0", Level,
                     Incremental ? "incremental" : "full", Rate, Speedup);
@@ -172,10 +202,29 @@ int runE13() {
               "the 200-seed fuzz in\ntests/coldpath_test.cpp checks "
               "bit-identity against).\n");
 
+  const uint64_t Hits = GateCounters.get(obs::ColdDisambigCacheHits);
+  const uint64_t Misses = GateCounters.get(obs::ColdDisambigCacheMisses);
+  const uint64_t Scoped = GateCounters.get(obs::ColdVerifyBlocksScoped);
+  const uint64_t Total = GateCounters.get(obs::ColdVerifyBlocksTotal);
+  std::printf("\nround-two machinery on the gate batch (speculative -O0, "
+              "incremental):\n"
+              "  disambig cache: %llu hits / %llu misses (%.0f%% hit rate)\n"
+              "  delta checkpoints: %llu bytes recorded\n"
+              "  scoped verification: %llu of %llu region blocks swept "
+              "(%.0f%% skipped)\n",
+              static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(Misses),
+              Hits + Misses ? 100.0 * Hits / (Hits + Misses) : 0.0,
+              static_cast<unsigned long long>(
+                  GateCounters.get(obs::ColdCkptBytes)),
+              static_cast<unsigned long long>(Scoped),
+              static_cast<unsigned long long>(Total),
+              Total ? 100.0 * (Total - Scoped) / Total : 0.0);
+
   const char *Path = "BENCH_engine.json";
   double Previous = recordedGate(Path);
   mergeJsonSection(Path, "bench_coldpath", "coldpath",
-                   jsonSection(Points, Functions, GateValue));
+                   jsonSection(Points, Functions, GateValue, GateCounters));
 
   if (Previous > 0 && GateValue < 0.9 * Previous) {
     std::fprintf(stderr,

@@ -2,6 +2,7 @@
 
 #include "analysis/DataDeps.h"
 
+#include "analysis/DisambigCache.h"
 #include "analysis/MemDisambig.h"
 #include "support/Assert.h"
 
@@ -37,12 +38,32 @@ bool intersects(SpanRange<Reg> A, SpanRange<Reg> B) {
 } // namespace
 
 DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
-                           const MachineDescription &MD) {
+                           const MachineDescription &MD,
+                           DisambigCache *Cache) {
   DataDeps DD;
   DD.InstrToNode.assign(F.numInstrs(), -1);
 
   // Memory/call summary bits, only needed during construction.
   std::vector<uint8_t> TouchesMemory, IsCallOrBarrier;
+
+  // Reserve the flat buffers up front: the node count is exact (one per
+  // region instruction plus one per barrier), the fact arena and edge
+  // list get proportional guesses, killing most of the growth
+  // reallocations the E13 profile charged to this builder.
+  unsigned ApproxNodes = 0;
+  for (unsigned RN : R.topoOrder()) {
+    const RegionNode &Node = R.node(RN);
+    ApproxNodes += Node.isBlock()
+                       ? static_cast<unsigned>(F.block(Node.Block).instrs().size())
+                       : 1;
+  }
+  DD.Nodes.reserve(ApproxNodes);
+  DD.DefSpan.reserve(ApproxNodes);
+  DD.UseSpan.reserve(ApproxNodes);
+  DD.FactRegs.reserve(ApproxNodes * 3);
+  DD.Edges.reserve(ApproxNodes * 4);
+  TouchesMemory.reserve(ApproxNodes);
+  IsCallOrBarrier.reserve(ApproxNodes);
 
   // Node list, in region topological order; program order within blocks.
   // Register facts go straight into the flat arena: a real instruction's
@@ -74,10 +95,21 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
   DD.Ancestors.assign(M, BitSet(M));
 
   // Block-level reachability in the region's forward graph (region-node
-  // indices).
-  std::vector<BitSet> Reach = allPairsReachability(R.forwardGraph());
+  // indices), from the shared memo when one is supplied: scheduling never
+  // changes region shape, so the local pass, the global pass and every
+  // region-jobs slice of a function share one closure.
+  std::shared_ptr<const std::vector<BitSet>> ReachShared;
+  std::vector<BitSet> ReachLocal;
+  const std::vector<BitSet> *Reach;
+  if (Cache) {
+    ReachShared = Cache->reachability(R.forwardGraph());
+    Reach = ReachShared.get();
+  } else {
+    ReachLocal = allPairsReachability(R.forwardGraph());
+    Reach = &ReachLocal;
+  }
 
-  MemDisambiguator Disambig(F, R);
+  MemDisambiguator Disambig(F, R, Cache);
 
   auto MemConflict = [&](unsigned A, unsigned B) {
     if (!TouchesMemory[A] || !TouchesMemory[B])
@@ -120,7 +152,7 @@ DataDeps DataDeps::compute(const Function &F, const SchedRegion &R,
     for (unsigned A = B; A-- > 0;) {
       unsigned AR = DD.Nodes[A].RegionNode;
       // Only pairs in the same block or with B's block reachable from A's.
-      if (AR != BR && !Reach[AR].test(BR))
+      if (AR != BR && !(*Reach)[AR].test(BR))
         continue;
       if (DD.Ancestors[B].test(A))
         continue; // transitive: already ordered

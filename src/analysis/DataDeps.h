@@ -38,6 +38,8 @@
 
 namespace gis {
 
+class DisambigCache;
+
 /// Kind of a data dependence edge (paper Section 4.2).
 enum class DepKind : uint8_t {
   Flow,   ///< register defined in From, used in To (carries a delay)
@@ -80,9 +82,12 @@ public:
   };
 
   /// Builds the DDG for region \p R of function \p F, with flow-edge
-  /// delays taken from \p MD.
+  /// delays taken from \p MD.  With \p Cache the all-pairs reachability
+  /// closure and the disambiguator's function-wide facts come from the
+  /// shared memo (DESIGN.md section 15) instead of being re-solved.
   static DataDeps compute(const Function &F, const SchedRegion &R,
-                          const MachineDescription &MD);
+                          const MachineDescription &MD,
+                          DisambigCache *Cache = nullptr);
 
   const std::vector<Node> &ddgNodes() const { return Nodes; }
   unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }

@@ -3,33 +3,23 @@
 #include "analysis/MemDisambig.h"
 
 #include "analysis/CFG.h"
+#include "support/FaultInjection.h"
 
 using namespace gis;
 
-MemDisambiguator::MemDisambiguator(const Function &F, const SchedRegion &R)
+MemDisambiguator::MemDisambiguator(const Function &F, const SchedRegion &R,
+                                   DisambigCache *Cache)
     : F(F), R(R) {
-  BlockOf.assign(F.numInstrs(), InvalidId);
-  PosOf.assign(F.numInstrs(), 0);
-  for (BlockId B = 0; B != F.numBlocks(); ++B) {
-    const std::vector<InstrId> &Instrs = F.block(B).instrs();
-    for (unsigned Pos = 0; Pos != Instrs.size(); ++Pos) {
-      BlockOf[Instrs[Pos]] = B;
-      PosOf[Instrs[Pos]] = Pos;
-    }
+  if (Cache) {
+    SharedFacts = Cache->facts(F);
+    Facts = SharedFacts.get();
+  } else {
+    OwnFacts = DisambigFacts::build(F, /*BuildDom=*/false);
+    Facts = OwnFacts.get();
   }
 
-  // Single static definitions over the whole function.
-  for (InstrId I = 0; I != F.numInstrs(); ++I) {
-    if (BlockOf[I] == InvalidId)
-      continue; // orphaned instruction (cloned, not yet placed)
-    for (Reg D : F.instr(I).defs()) {
-      auto [It, Inserted] = SingleDef.emplace(D.key(), I);
-      if (!Inserted)
-        It->second = InvalidId; // multiple definitions
-    }
-  }
-
-  // Definition counts inside the region's real blocks.
+  // Definition counts inside the region's real blocks (region-dependent,
+  // so never shared).
   for (const RegionNode &N : R.nodes()) {
     if (!N.isBlock())
       continue;
@@ -37,20 +27,26 @@ MemDisambiguator::MemDisambiguator(const Function &F, const SchedRegion &R)
       for (Reg D : F.instr(I).defs())
         ++RegionDefs[D.key()];
   }
+
+  AddrState.assign(F.numInstrs(), 0);
+  AddrMemo.resize(F.numInstrs());
+  CheckFault = FaultInjector::instance().armed();
 }
 
 const DomTree &MemDisambiguator::funcDom() const {
-  if (!FuncDom)
-    FuncDom = std::make_unique<DomTree>(buildCFG(F));
-  return *FuncDom;
+  if (Facts->Dom)
+    return *Facts->Dom;
+  if (!LazyDom)
+    LazyDom = std::make_unique<DomTree>(buildCFG(F));
+  return *LazyDom;
 }
 
 bool MemDisambiguator::defDominatesUse(InstrId Def, InstrId User) const {
-  BlockId DB = BlockOf[Def], UB = BlockOf[User];
+  BlockId DB = Facts->BlockOf[Def], UB = Facts->BlockOf[User];
   if (DB == InvalidId || UB == InvalidId)
     return false;
   if (DB == UB)
-    return PosOf[Def] < PosOf[User];
+    return Facts->PosOf[Def] < Facts->PosOf[User];
   return funcDom().dominates(DB, UB);
 }
 
@@ -59,8 +55,8 @@ MemDisambiguator::resolveReg(Reg Base, InstrId User, unsigned Depth) const {
   if (Depth > 16)
     return std::nullopt; // defensive cap on chain length
 
-  auto It = SingleDef.find(Base.key());
-  if (It == SingleDef.end()) {
+  auto It = Facts->SingleDef.find(Base.key());
+  if (It == Facts->SingleDef.end()) {
     // Never defined in the function (an incoming parameter register): a
     // stable symbolic root.
     Address A;
@@ -100,7 +96,7 @@ MemDisambiguator::resolveReg(Reg Base, InstrId User, unsigned Depth) const {
 }
 
 std::optional<MemDisambiguator::Address>
-MemDisambiguator::resolveAddress(InstrId Access) const {
+MemDisambiguator::resolveAddressUncached(InstrId Access) const {
   const Instruction &I = F.instr(Access);
   if (!I.touchesMemory() || I.isCall() || I.isSpillCode())
     return std::nullopt;
@@ -111,7 +107,34 @@ MemDisambiguator::resolveAddress(InstrId Access) const {
   return A;
 }
 
+std::optional<MemDisambiguator::Address>
+MemDisambiguator::resolveAddress(InstrId Access) const {
+  if (AddrState[Access] == 0) {
+    auto A = resolveAddressUncached(Access);
+    if (A) {
+      AddrState[Access] = 1;
+      AddrMemo[Access] = *A;
+    } else {
+      AddrState[Access] = 2;
+    }
+  }
+  if (AddrState[Access] == 2)
+    return std::nullopt;
+  return AddrMemo[Access];
+}
+
 bool MemDisambiguator::provablyDisjoint(InstrId A, InstrId B) const {
+  bool Result = provablyDisjointImpl(A, B);
+  // "disambig-cache" fault: hand the dependence builder a poisoned alias
+  // answer, as a corrupted cache entry would.  Checked only when the
+  // injector is armed so unarmed runs pay nothing per pair; fired *after*
+  // any slow-path cross-check so CHECK builds validate the real answer.
+  if (CheckFault && FaultInjector::instance().shouldFire("disambig-cache"))
+    return !Result;
+  return Result;
+}
+
+bool MemDisambiguator::provablyDisjointImpl(InstrId A, InstrId B) const {
   const Instruction &IA = F.instr(A);
   const Instruction &IB = F.instr(B);
   if (IA.isCall() || IB.isCall())
@@ -153,11 +176,11 @@ bool MemDisambiguator::provablyDisjoint(InstrId A, InstrId B) const {
     return true; // base is region-invariant
 
   // Same block, no intervening redefinition of the base (positional scan).
-  BlockId BA = BlockOf[A], BB = BlockOf[B];
+  BlockId BA = Facts->BlockOf[A], BB = Facts->BlockOf[B];
   if (BA == InvalidId || BA != BB)
     return false;
-  unsigned Lo = std::min(PosOf[A], PosOf[B]);
-  unsigned Hi = std::max(PosOf[A], PosOf[B]);
+  unsigned Lo = std::min(Facts->PosOf[A], Facts->PosOf[B]);
+  unsigned Hi = std::max(Facts->PosOf[A], Facts->PosOf[B]);
   const std::vector<InstrId> &Instrs = F.block(BA).instrs();
   for (unsigned Pos = Lo; Pos != Hi; ++Pos)
     if (F.instr(Instrs[Pos]).definesReg(BaseA))

@@ -22,11 +22,19 @@
 ///
 /// Anything unresolved is treated as aliasing.
 ///
+/// The function-wide inputs (block/position maps, single static
+/// definitions, the dominator tree) can be shared across regions and
+/// passes through a DisambigCache; without one the disambiguator derives
+/// them stand-alone, exactly as before.  Resolved addresses are memoized
+/// per instance: the pairwise conflict loop asks for each access O(n)
+/// times.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_ANALYSIS_MEMDISAMBIG_H
 #define GIS_ANALYSIS_MEMDISAMBIG_H
 
+#include "analysis/DisambigCache.h"
 #include "analysis/Dominators.h"
 #include "analysis/Region.h"
 #include "ir/Function.h"
@@ -41,8 +49,11 @@ namespace gis {
 class MemDisambiguator {
 public:
   /// \p F must have up-to-date CFG edges.  The region scopes the
-  /// "no definition of the base register" reasoning.
-  MemDisambiguator(const Function &F, const SchedRegion &R);
+  /// "no definition of the base register" reasoning.  With \p Cache the
+  /// function-wide facts come from (and are installed into) the shared
+  /// memo instead of being rebuilt per region.
+  MemDisambiguator(const Function &F, const SchedRegion &R,
+                   DisambigCache *Cache = nullptr);
 
   /// True if memory instructions \p A and \p B provably access different
   /// locations.  Either instruction may be a load or store; calls are
@@ -58,29 +69,37 @@ private:
     int64_t Offset = 0;
   };
 
+  bool provablyDisjointImpl(InstrId A, InstrId B) const;
   std::optional<Address> resolveAddress(InstrId Access) const;
+  std::optional<Address> resolveAddressUncached(InstrId Access) const;
   std::optional<Address> resolveReg(Reg R, InstrId User, unsigned Depth) const;
 
   /// True if \p Def (the single definition of some register) dominates the
   /// use site \p User.
   bool defDominatesUse(InstrId Def, InstrId User) const;
 
-  /// The function-wide dominator tree, built on the first cross-block
-  /// query (same-block queries, the common case, use positions only).
+  /// The function-wide dominator tree: the shared one when cached, else
+  /// built on the first cross-block query (same-block queries, the common
+  /// case, use positions only).
   const DomTree &funcDom() const;
 
   const Function &F;
   const SchedRegion &R;
-  mutable std::unique_ptr<DomTree> FuncDom;
-  /// Single static definition of each register, or InvalidId when the
-  /// register has zero or multiple definitions.
-  std::unordered_map<uint32_t, InstrId> SingleDef;
+  /// Shared (cached) or owned facts; Facts points at whichever is live.
+  std::shared_ptr<const DisambigFacts> SharedFacts;
+  std::shared_ptr<DisambigFacts> OwnFacts;
+  const DisambigFacts *Facts = nullptr;
+  mutable std::unique_ptr<DomTree> LazyDom;
   /// Number of definitions of each register inside the region's real
   /// blocks.
   std::unordered_map<uint32_t, unsigned> RegionDefs;
-  /// Owning block and position of every instruction.
-  std::vector<BlockId> BlockOf;
-  std::vector<unsigned> PosOf;
+  /// resolveAddress memo, indexed by InstrId: 0 unresolved yet,
+  /// 1 resolved (AddrMemo holds it), 2 resolves to nothing.
+  mutable std::vector<uint8_t> AddrState;
+  mutable std::vector<Address> AddrMemo;
+  /// Snapshot of FaultInjector::armed() at construction: keeps the
+  /// fault-injection probe off the per-pair hot path in normal runs.
+  bool CheckFault = false;
 };
 
 } // namespace gis

@@ -27,12 +27,12 @@ const char *gis::motionKindName(MotionKind K) {
 }
 
 PDG PDG::build(const Function &F, const SchedRegion &R,
-               const MachineDescription &MD) {
+               const MachineDescription &MD, DisambigCache *Cache) {
   PDG P;
   P.Region = std::make_shared<SchedRegion>(R);
   P.CDeps = std::make_shared<ControlDeps>(ControlDeps::compute(*P.Region));
-  P.DDeps =
-      std::make_shared<DataDeps>(DataDeps::compute(F, *P.Region, MD));
+  P.DDeps = std::make_shared<DataDeps>(
+      DataDeps::compute(F, *P.Region, MD, Cache));
   return P;
 }
 

@@ -13,7 +13,10 @@
 /// layout, register counters), so a snapshot is one deep copy with no
 /// pointer fix-up.  RegionSnapshot narrows the transaction boundary to one
 /// scheduling region so independent regions can fail (and roll back) or
-/// commit without touching each other's blocks.
+/// commit without touching each other's blocks.  DeltaCheckpoint narrows
+/// it further to first-touch records of exactly the blocks/instructions a
+/// transform mutates, guarded by a manifest hash so a lost record is a
+/// detected failure, not a silent mis-rollback (DESIGN.md section 15).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -79,14 +82,81 @@ public:
   void applyTo(Function &F, const std::function<Reg(Reg)> &RemapReg) const;
 
   const std::vector<BlockId> &blocks() const { return Blocks; }
+  /// Per captured block (parallel to blocks()): its instruction list.
+  /// The scoped verifier reads the pre-pass region through these.
+  const std::vector<std::vector<InstrId>> &blockInstrs() const {
+    return BlockInstrs;
+  }
+  /// Pool entries of every instruction referenced by the captured lists.
+  const std::vector<std::pair<InstrId, Instruction>> &instrs() const {
+    return Instrs;
+  }
 
 private:
   std::vector<BlockId> Blocks;
-  /// Per captured block (parallel to Blocks): its instruction list.
   std::vector<std::vector<InstrId>> BlockInstrs;
-  /// Pool entries of every instruction referenced by the captured lists.
   std::vector<std::pair<InstrId, Instruction>> Instrs;
   std::array<unsigned, 3> RegCounts = {0, 0, 0};
+};
+
+/// A first-touch delta checkpoint of one Function: instead of copying the
+/// whole function up front (FunctionSnapshot), the transform notes each
+/// block list / pool entry *before* first mutating it, and rollback
+/// re-applies exactly those records.  Construction takes an O(n)
+/// allocation-free manifest hash of the full function; restore recomputes
+/// it and reports a mismatch, so a transform that mutated state it never
+/// noted (a lost delta) is detected fail-stop instead of silently
+/// rolling back to a wrong state.  The "ckpt-delta" fault-injection stage
+/// drops a record deliberately to prove that containment path fires.
+class DeltaCheckpoint {
+public:
+  /// Captures shape and manifest of \p F.  With \p Armed false the
+  /// checkpoint is a no-op shell (notes ignored, no manifest): the
+  /// `--no-incremental` fallback runs under a FunctionSnapshot instead.
+  explicit DeltaCheckpoint(const Function &F, bool Armed = true);
+
+  /// Saves the current instruction list of block \p B (first touch only).
+  void noteBlock(BlockId B);
+  /// Saves the current pool entry of instruction \p I (first touch only).
+  void noteInstr(InstrId I);
+  /// Saves every block list (used before whole-function test corruption,
+  /// which rewrites lists only).
+  void noteAllBlocks();
+
+  bool armed() const { return Armed; }
+  /// True when any delta record has been saved.
+  bool hasRecords() const {
+    return !SavedBlocks.empty() || !SavedInstrs.empty();
+  }
+  /// Drops one record whose saved content still differs from the current
+  /// function state -- i.e. a record rollback genuinely needs -- keeping
+  /// its first-touch flag set so the loss is not silently repaired.
+  /// Returns false when every record is redundant.  Test-only.
+  bool dropOneRecordForTest();
+
+  /// Rolls \p F back by re-applying the saved records and register
+  /// counters, then recomputes the manifest.  Returns false when the
+  /// restored bytes do not match the construction-time manifest (a delta
+  /// record was lost); the caller must treat that as fatal.
+  bool restore(Function &F) const;
+
+  /// Approximate bytes of state the delta records hold, for the
+  /// coldpath.ckpt_bytes counter (what a full FunctionSnapshot would have
+  /// copied is the comparison point).
+  uint64_t bytesSaved() const;
+
+private:
+  static uint64_t manifestOf(const Function &F);
+
+  const Function *Src = nullptr;
+  bool Armed = true;
+  uint64_t Manifest = 0;
+  unsigned NumBlocks = 0;
+  unsigned NumInstrs = 0;
+  std::array<unsigned, 3> RegCounts = {0, 0, 0};
+  std::vector<uint8_t> BlockNoted, InstrNoted;
+  std::vector<std::pair<BlockId, std::vector<InstrId>>> SavedBlocks;
+  std::vector<std::pair<InstrId, Instruction>> SavedInstrs;
 };
 
 /// Field-by-field equality of two functions: same name, parameters,

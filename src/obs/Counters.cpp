@@ -57,6 +57,11 @@ constexpr CounterInfo Infos[NumCounters] = {
     {"coldpath.liveness_full", "full liveness recomputations"},
     {"coldpath.heur_block_recomputes", "per-block D/CP refreshes"},
     {"coldpath.ready_fastforwards", "empty ready-list ranges skipped"},
+    {"coldpath.disambig_cache_hits", "disambig cache hits"},
+    {"coldpath.disambig_cache_misses", "disambig cache misses"},
+    {"coldpath.ckpt_bytes", "bytes recorded by delta checkpoints"},
+    {"coldpath.verify_blocks_scoped", "blocks verified by scoped sweeps"},
+    {"coldpath.verify_blocks_total", "blocks in scoped-verified functions"},
 };
 
 } // namespace

@@ -105,6 +105,18 @@ enum class CounterId : unsigned {
   ColdHeurBlockRecomputes, ///< per-block D/CP refreshes (incremental path)
   ColdFastForwards,        ///< empty ready-list cycle ranges skipped
 
+  // Cold-path incremental machinery, round two (DESIGN.md section 15):
+  // the shared disambiguation cache, delta checkpoints, and the
+  // block-scoped verifier.  The hit/miss pair exposes how often the
+  // reachability/facts cache answered without a fresh solve; ckpt bytes
+  // are what the delta checkpoints actually saved (vs. three full
+  // function copies before); the verify pair shows scoped coverage.
+  ColdDisambigCacheHits,   ///< disambig cache answers served from cache
+  ColdDisambigCacheMisses, ///< disambig cache fresh solves
+  ColdCkptBytes,           ///< bytes recorded by delta checkpoints
+  ColdVerifyBlocksScoped,  ///< blocks actually verified by scoped sweeps
+  ColdVerifyBlocksTotal,   ///< blocks in functions verified by scoped sweeps
+
   NumCounters
 };
 
@@ -159,6 +171,15 @@ inline constexpr CounterId ColdLivenessFull = CounterId::ColdLivenessFull;
 inline constexpr CounterId ColdHeurBlockRecomputes =
     CounterId::ColdHeurBlockRecomputes;
 inline constexpr CounterId ColdFastForwards = CounterId::ColdFastForwards;
+inline constexpr CounterId ColdDisambigCacheHits =
+    CounterId::ColdDisambigCacheHits;
+inline constexpr CounterId ColdDisambigCacheMisses =
+    CounterId::ColdDisambigCacheMisses;
+inline constexpr CounterId ColdCkptBytes = CounterId::ColdCkptBytes;
+inline constexpr CounterId ColdVerifyBlocksScoped =
+    CounterId::ColdVerifyBlocksScoped;
+inline constexpr CounterId ColdVerifyBlocksTotal =
+    CounterId::ColdVerifyBlocksTotal;
 
 /// Stable machine-readable key of a counter ("motion.useful", "rule.delay_useful", ...).
 std::string_view counterKey(CounterId Id);

@@ -19,7 +19,8 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
                                                  const SchedRegion &R,
                                                  Status *Err,
                                                  const RegionSlice *Slice,
-                                                 const obs::SchedSink &Sink) {
+                                                 const obs::SchedSink &Sink,
+                                                 PDG *OutPDG) {
   GlobalSchedStats Stats;
   if (Err)
     *Err = Status::ok();
@@ -36,7 +37,12 @@ GlobalSchedStats GlobalScheduler::scheduleRegion(Function &F,
       fatalError(__FILE__, __LINE__, Failure.str().c_str());
   };
 
-  PDG P = PDG::build(F, R, MD);
+  // Built on F before any motion; the export hands the verifier the exact
+  // graph this pass scheduled against (content-identical to rebuilding on
+  // the pre-pass function, since the PDG is immutable once built).
+  PDG P = PDG::build(F, R, MD, Opts.Cache);
+  if (OutPDG)
+    *OutPDG = P;
   const DataDeps &DD = P.dataDeps();
   Stats.RegionsScheduled = 1;
 

@@ -32,6 +32,7 @@
 
 namespace gis {
 
+class DisambigCache;
 class RegionSlice;
 
 /// Scheduling level (paper Section 5.1 "two levels of scheduling").
@@ -61,6 +62,10 @@ struct GlobalSchedOptions {
   /// recompute-from-scratch slow path -- the --no-incremental escape hatch
   /// and the oracle that GIS_SLOWPATH_CHECK builds compare against.
   bool Incremental = true;
+  /// Shared memo for the dependence builder's reachability closures and
+  /// disambiguation facts (DESIGN.md section 15).  Borrowed; may be null
+  /// (every region then re-solves from scratch, the reference mode).
+  DisambigCache *Cache = nullptr;
 };
 
 /// Statistics of one scheduling run.
@@ -111,10 +116,16 @@ public:
   /// decision records (src/obs/).  The buffers belong to the caller; with
   /// region parallelism each task passes private buffers that the wave
   /// merges deterministically.
+  ///
+  /// With \p OutPDG non-null the PDG this pass scheduled against (built on
+  /// \p F *before* any motion) is exported -- a cheap three-shared-ptr
+  /// copy -- so the transactional layer can hand it to the schedule
+  /// verifier instead of paying a second build.
   GlobalSchedStats scheduleRegion(Function &F, const SchedRegion &R,
                                   Status *Err = nullptr,
                                   const RegionSlice *Slice = nullptr,
-                                  const obs::SchedSink &Sink = {});
+                                  const obs::SchedSink &Sink = {},
+                                  PDG *OutPDG = nullptr);
 
 private:
   MachineDescription MD;

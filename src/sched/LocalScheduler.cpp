@@ -2,8 +2,10 @@
 
 #include "sched/LocalScheduler.h"
 
+#include "analysis/DisambigCache.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/Region.h"
+#include "ir/Checkpoint.h"
 #include "obs/Trace.h"
 #include "sched/Heuristics.h"
 #include "sched/ListScheduler.h"
@@ -18,15 +20,22 @@ namespace {
 /// instructions as the only candidates.
 void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
                           const SchedRegion &R, LocalSchedStats &Stats,
-                          const obs::SchedSink &Sink, bool Incremental);
+                          const obs::SchedSink &Sink, bool Incremental,
+                          DisambigCache *Cache, DeltaCheckpoint *Ckpt);
 
 } // namespace
 
 LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
                                    const obs::SchedSink &Sink,
-                                   bool Incremental) {
+                                   bool Incremental, DisambigCache *Cache,
+                                   DeltaCheckpoint *Ckpt) {
   LocalSchedStats Stats;
   F.recomputeCFG();
+  // Earlier phases moved code since the cache last saw this function;
+  // start a fresh facts epoch.  Within this pass the facts stay valid:
+  // intra-block reorders patch positions in place below.
+  if (Cache)
+    Cache->noteFunctionChanged();
   LoopInfo LI = LoopInfo::compute(F);
 
   // Regions proper require reducible control flow; otherwise fall back to
@@ -35,7 +44,7 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
   if (!LI.isReducible()) {
     for (BlockId B : F.layout())
       scheduleRegionBlocks(F, MD, SchedRegion::buildSingleBlock(F, B), Stats,
-                           Sink, Incremental);
+                           Sink, Incremental, Cache, Ckpt);
     return Stats;
   }
 
@@ -49,7 +58,7 @@ LocalSchedStats gis::scheduleLocal(Function &F, const MachineDescription &MD,
 
   for (int RegionId : RegionIds) {
     SchedRegion R = SchedRegion::build(F, LI, RegionId);
-    scheduleRegionBlocks(F, MD, R, Stats, Sink, Incremental);
+    scheduleRegionBlocks(F, MD, R, Stats, Sink, Incremental, Cache, Ckpt);
   }
   return Stats;
 }
@@ -58,8 +67,9 @@ namespace {
 
 void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
                           const SchedRegion &R, LocalSchedStats &Stats,
-                          const obs::SchedSink &Sink, bool Incremental) {
-  DataDeps DD = DataDeps::compute(F, R, MD);
+                          const obs::SchedSink &Sink, bool Incremental,
+                          DisambigCache *Cache, DeltaCheckpoint *Ckpt) {
+  DataDeps DD = DataDeps::compute(F, R, MD, Cache);
 
   std::vector<unsigned> CurNode(DD.numNodes());
   for (unsigned N = 0; N != DD.numNodes(); ++N)
@@ -123,7 +133,11 @@ void scheduleRegionBlocks(Function &F, const MachineDescription &MD,
       NewContents.push_back(DD.ddgNode(Node).Instr);
     if (NewContents != BB.instrs()) {
       ++Stats.BlocksReordered;
+      if (Ckpt)
+        Ckpt->noteBlock(ANode.Block); // save the pre-reorder list first
       BB.instrs() = std::move(NewContents);
+      if (Cache)
+        Cache->notePosChanged(F, ANode.Block);
     }
   }
 }

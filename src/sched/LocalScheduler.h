@@ -23,6 +23,9 @@
 
 namespace gis {
 
+class DeltaCheckpoint;
+class DisambigCache;
+
 /// Statistics of a local scheduling pass.
 struct LocalSchedStats {
   unsigned BlocksScheduled = 0;
@@ -38,10 +41,17 @@ struct LocalSchedStats {
 /// \p Sink optionally collects observability counters and decision records
 /// (src/obs/); local picks carry stage tag "local".  \p Incremental
 /// selects the engine's event-driven ready pool (bit-identical output;
-/// see sched/ListScheduler.h).
+/// see sched/ListScheduler.h).  \p Cache (optional) shares the dependence
+/// builder's reachability/disambiguation inputs across this pass's
+/// regions -- the pass bumps the cache epoch on entry and patches
+/// positions after each intra-block reorder (DESIGN.md section 15).
+/// \p Ckpt (optional) receives a first-touch record of every block list
+/// this pass rewrites, for delta rollback.
 LocalSchedStats scheduleLocal(Function &F, const MachineDescription &MD,
                               const obs::SchedSink &Sink = {},
-                              bool Incremental = true);
+                              bool Incremental = true,
+                              DisambigCache *Cache = nullptr,
+                              DeltaCheckpoint *Ckpt = nullptr);
 
 } // namespace gis
 

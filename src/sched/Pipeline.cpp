@@ -2,6 +2,7 @@
 
 #include "sched/Pipeline.h"
 
+#include "analysis/DisambigCache.h"
 #include "analysis/RegPressure.h"
 #include "analysis/Region.h"
 #include "analysis/RegionSlice.h"
@@ -51,6 +52,10 @@ struct TxContext {
   const MachineDescription &MD;
   const PipelineOptions &Opts;
   PipelineStats &Stats;
+  /// The run's shared disambiguation cache (DESIGN.md section 15);
+  /// null with incremental maintenance off (--no-incremental), which
+  /// keeps that mode a fully uncached reference.
+  DisambigCache *Cache = nullptr;
 };
 
 /// Runs one whole-function transform as a transaction: snapshot,
@@ -96,6 +101,66 @@ bool runTransaction(TxContext &Ctx, const char *Stage, int LoopIdx,
   PipelineStats Delta;
   TransactionResult R =
       runFunctionTransaction(Ctx.F, Stage, Cfg, [&] { return Body(Delta); });
+  if (R.EngineFailure)
+    ++Ctx.Stats.EngineFailures;
+  if (R.FaultInjected)
+    ++Ctx.Stats.FaultsInjected;
+  if (R.VerifierFailure)
+    ++Ctx.Stats.VerifierFailures;
+  if (R.OracleMismatch)
+    ++Ctx.Stats.OracleMismatches;
+
+  if (R.Committed) {
+    Ctx.Stats += Delta;
+    return true;
+  }
+
+  if (RegionScoped)
+    ++Ctx.Stats.RegionsRolledBack;
+  else
+    ++Ctx.Stats.TransformsRolledBack;
+  if (Ctx.Opts.CollectCounters)
+    Ctx.Stats.Counters.bump(obs::Rollbacks);
+  obs::Tracer::instance().instant("rollback", "tx", "loop",
+                                  static_cast<int64_t>(LoopIdx));
+  reportDiagnostic(Ctx.Stats.Diags, R.S, Ctx.F.name(), Stage, LoopIdx);
+  return false;
+}
+
+/// Delta variant of runTransaction for whole-function transforms whose
+/// touched state is a small fraction of the function (pre-renaming, the
+/// local scheduler): instead of a full FunctionSnapshot the transaction
+/// takes a DeltaCheckpoint and the body notes each block list / pool
+/// entry before first mutating it (sched/Transaction.h).  With
+/// incremental maintenance off -- or transactions off -- this delegates
+/// to runTransaction, so --no-incremental keeps the historical
+/// full-snapshot path bit for bit.
+bool runDeltaTransaction(
+    TxContext &Ctx, const char *Stage, int LoopIdx,
+    const std::function<Status(PipelineStats &, DeltaCheckpoint &)> &Body,
+    bool RegionScoped) {
+  if (!Ctx.Opts.Incremental || !Ctx.Opts.EnableTransactions) {
+    DeltaCheckpoint Ck(Ctx.F, /*Armed=*/false);
+    return runTransaction(
+        Ctx, Stage, LoopIdx,
+        [&](PipelineStats &Delta) { return Body(Delta, Ck); }, RegionScoped);
+  }
+
+  obs::TraceSpan StageSpan(Stage, "stage", "loop",
+                           static_cast<int64_t>(LoopIdx));
+  ++Ctx.Stats.TransactionsRun;
+  TransactionConfig Cfg;
+  Cfg.VerifyStructural = Ctx.Opts.VerifyStructural;
+  Cfg.EnableOracle = Ctx.Opts.EnableOracle;
+  Cfg.OracleModule = Ctx.Opts.OracleModule;
+  Cfg.OracleMaxSteps = Ctx.Opts.OracleMaxSteps;
+
+  PipelineStats Delta;
+  DeltaCheckpoint Ck(Ctx.F, /*Armed=*/true);
+  TransactionResult R = runFunctionTransactionDelta(
+      Ctx.F, Stage, Cfg, Ck, [&] { return Body(Delta, Ck); });
+  if (Ctx.Opts.CollectCounters)
+    Ctx.Stats.Counters.bump(obs::ColdCkptBytes, Ck.bytesSaved());
   if (R.EngineFailure)
     ++Ctx.Stats.EngineFailures;
   if (R.FaultInjected)
@@ -209,7 +274,13 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
                           static_cast<int64_t>(WaveNo), "tasks",
                           static_cast<int64_t>(Tasks.size()));
 
-  const Function Base = Ctx.F; // the wave's fork point
+  // Earlier transforms (unroll, rotate, prior waves' commits) moved code
+  // since the cache last saw this function; start a fresh facts epoch.
+  // Within the wave the facts stay exact: every task builds its PDG
+  // before any motion, when its private fork still equals the wave base.
+  if (Ctx.Cache)
+    Ctx.Cache->noteFunctionChanged();
+
   GlobalSchedOptions GOpts;
   GOpts.Level = Ctx.Opts.Level;
   GOpts.MaxSpecDepth = Ctx.Opts.MaxSpecDepth;
@@ -217,6 +288,115 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
   GOpts.Order = Ctx.Opts.Order;
   GOpts.Profile = Ctx.Opts.Profile;
   GOpts.Incremental = Ctx.Opts.Incremental;
+  GOpts.Cache = Ctx.Cache;
+
+#ifndef GIS_SLOWPATH_CHECK
+  // Single-task fast path (DESIGN.md section 15): schedule the region in
+  // place instead of forking the wave base and copying the private result
+  // back.  Rollback is guarded by a region snapshot and verification by
+  // the block-scoped verifier reading the pre-pass state from a capture;
+  // the commit/rollback bookkeeping below mirrors the forked merge
+  // exactly, and with one task the register-renumbering merge is the
+  // identity, so the output is bit-identical to the forked path (the
+  // GIS_SLOWPATH_CHECK build always takes the forked path and dual-runs
+  // both verifiers to enforce that).  Level None would return before the
+  // PDG export, and the oracle needs the complete pre-pass function, so
+  // both fall through to the forked path.
+  if (Tasks.size() == 1 && Ctx.Opts.Incremental &&
+      Ctx.Opts.Level != SchedLevel::None &&
+      !(Ctx.Opts.EnableOracle && Ctx.Opts.OracleModule)) {
+    RegionTask &T = *Tasks.front();
+    obs::TraceSpan RegionSpan("region", "region", "loop",
+                              static_cast<int64_t>(T.LoopIdx), "wave",
+                              static_cast<int64_t>(WaveNo));
+    auto Start = std::chrono::steady_clock::now();
+    GlobalScheduler GS(Ctx.MD, GOpts);
+    Status S;
+    obs::SchedSink Sink;
+    if (Ctx.Opts.CollectCounters)
+      Sink.Counters = &T.Delta.Counters;
+    if (Ctx.Opts.CollectDecisions)
+      Sink.Decisions = &T.Delta.Decisions;
+
+    const bool WantScoped = Transactional && Ctx.Opts.VerifySemantic;
+    ScopedVerifyContext VCtx;
+    if (WantScoped)
+      VCtx = ScopedVerifyContext::capture(Ctx.F, T.Slice.region());
+    std::unique_ptr<RegionSnapshot> Snap;
+    if (Transactional)
+      Snap = std::make_unique<RegionSnapshot>(Ctx.F, T.Slice.blocks());
+
+    PDG P;
+    T.Delta.Global += GS.scheduleRegion(Ctx.F, T.Slice.region(),
+                                        Transactional ? &S : nullptr,
+                                        &T.Slice, Sink,
+                                        WantScoped ? &P : nullptr);
+    if (Transactional) {
+      if (!S.isOk())
+        ++T.EngFailures;
+      if (S.isOk() && FaultInjector::instance().shouldFire("region") &&
+          corruptRegionForTest(Ctx.F, T.Slice.blocks()))
+        T.FaultInjected = true;
+      if (S.isOk() && Ctx.Opts.VerifyStructural) {
+        std::vector<std::string> Problems = verifyFunction(Ctx.F);
+        if (!Problems.empty()) {
+          S = Status::error(ErrorCode::VerifierStructural, Problems.front());
+          ++T.VerFailures;
+        }
+      }
+      if (S.isOk() && Ctx.Opts.VerifySemantic) {
+        ScopedVerifyStats VS;
+        std::vector<std::string> Problems = verifyRegionScheduleScoped(
+            VCtx, *Snap, Ctx.F, T.Slice.region(), Ctx.MD, P, &VS);
+        if (Ctx.Opts.CollectCounters) {
+          T.Delta.Counters.bump(obs::ColdVerifyBlocksScoped,
+                                VS.BlocksVerified);
+          T.Delta.Counters.bump(obs::ColdVerifyBlocksTotal, VS.BlocksTotal);
+        }
+        if (!Problems.empty()) {
+          S = Status::error(ErrorCode::VerifierSemantic, Problems.front());
+          ++T.VerFailures;
+        }
+      }
+    } else if (!S.isOk()) {
+      // Unreachable: with Err == nullptr scheduleRegion aborts on failure
+      // (the historical fail-fast contract).
+      fatalError(__FILE__, __LINE__, S.str().c_str());
+    }
+    T.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+
+    if (Transactional)
+      ++Ctx.Stats.TransactionsRun;
+    Ctx.Stats.EngineFailures += T.EngFailures;
+    Ctx.Stats.VerifierFailures += T.VerFailures;
+    if (T.FaultInjected)
+      ++Ctx.Stats.FaultsInjected;
+    Ctx.Stats.RegionTimes.push_back({T.LoopIdx, WaveNo, T.Seconds});
+    if (!S.isOk()) {
+      // Region-local rollback, in place: restore the region's block lists,
+      // pool entries and the register counters from the snapshot.
+      Snap->restore(Ctx.F);
+      ++Ctx.Stats.RegionsRolledBack;
+      if (Ctx.Opts.CollectCounters)
+        Ctx.Stats.Counters.bump(obs::Rollbacks);
+      obs::Tracer::instance().instant("rollback", "tx", "loop",
+                                      static_cast<int64_t>(T.LoopIdx));
+      reportDiagnostic(Ctx.Stats.Diags, S, Ctx.F.name(), "region", T.LoopIdx);
+    } else {
+      for (obs::Decision &D : T.Delta.Decisions) {
+        D.LoopIdx = T.LoopIdx;
+        D.Wave = WaveNo;
+      }
+      Ctx.Stats += T.Delta;
+    }
+    ++Ctx.Stats.RegionWaves;
+    return;
+  }
+#endif // !GIS_SLOWPATH_CHECK
+
+  const Function Base = Ctx.F; // the wave's fork point
 
   auto RunTask = [&](RegionTask &T) {
     obs::TraceSpan RegionSpan("region", "region", "loop",
@@ -231,9 +411,28 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
       Sink.Counters = &T.Delta.Counters;
     if (Ctx.Opts.CollectDecisions)
       Sink.Decisions = &T.Delta.Decisions;
+    // Reuse the PDG the scheduler built (exported pre-motion, so
+    // content-equal to one built on Base) for semantic verification.
+    // --no-incremental deliberately leaves it unused: the reference mode
+    // re-derives everything from scratch.
+    const bool UsePrebuilt =
+        Transactional && Ctx.Opts.VerifySemantic && Ctx.Opts.Incremental;
+#ifdef GIS_SLOWPATH_CHECK
+    const bool ExportPDG = Transactional && Ctx.Opts.VerifySemantic;
+    ScopedVerifyContext SlowCtx;
+    std::unique_ptr<RegionSnapshot> SlowSnap;
+    if (ExportPDG) {
+      SlowCtx = ScopedVerifyContext::capture(Base, T.Slice.region());
+      SlowSnap = std::make_unique<RegionSnapshot>(Base, T.Slice.blocks());
+    }
+#else
+    const bool ExportPDG = UsePrebuilt;
+#endif
+    PDG P;
     T.Delta.Global += GS.scheduleRegion(T.Priv, T.Slice.region(),
                                         Transactional ? &S : nullptr,
-                                        &T.Slice, Sink);
+                                        &T.Slice, Sink,
+                                        ExportPDG ? &P : nullptr);
     if (Transactional) {
       if (!S.isOk())
         ++T.EngFailures;
@@ -249,7 +448,18 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
       }
       if (S.isOk() && Ctx.Opts.VerifySemantic) {
         std::vector<std::string> Problems =
-            verifyRegionSchedule(Base, T.Priv, T.Slice.region(), Ctx.MD);
+            verifyRegionSchedule(Base, T.Priv, T.Slice.region(), Ctx.MD,
+                                 UsePrebuilt ? &P : nullptr);
+#ifdef GIS_SLOWPATH_CHECK
+        // Dual-run: the block-scoped verifier must agree with the full
+        // sweep -- same verdict, byte-identical diagnostics.
+        std::vector<std::string> Scoped = verifyRegionScheduleScoped(
+            SlowCtx, *SlowSnap, T.Priv, T.Slice.region(), Ctx.MD, P);
+        if (Scoped != Problems)
+          fatalError(__FILE__, __LINE__,
+                     "slow-path check: scoped schedule verifier diverges "
+                     "from the full sweep");
+#endif
         if (!Problems.empty()) {
           S = Status::error(ErrorCode::VerifierSemantic, Problems.front());
           ++T.VerFailures;
@@ -350,7 +560,11 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
 PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
                                     const PipelineOptions &Opts) {
   PipelineStats Stats;
-  TxContext Ctx{F, MD, Opts, Stats};
+  // One disambiguation cache per pipeline run, shared by both global
+  // passes, the local pass and every --region-jobs task (DESIGN.md
+  // section 15).  --no-incremental runs fully uncached.
+  DisambigCache DCache;
+  TxContext Ctx{F, MD, Opts, Stats, Opts.Incremental ? &DCache : nullptr};
   obs::Tracer &Tr = obs::Tracer::instance();
   obs::TraceSpan PipeSpan("pipeline", "pipeline", nullptr, 0, nullptr, 0,
                           Tr.enabled() ? std::string(F.name())
@@ -417,10 +631,11 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
   // (the base compiler has it too), so it is not gated on the global
   // scheduling level: the basic-block scheduler profits as well.
   if (Opts.EnablePreRenaming)
-    runTransaction(
+    runDeltaTransaction(
         Ctx, "prerename", -1,
-        [&](PipelineStats &Delta) {
-          Delta.PreRenamedDefs = preRenameLocals(F).RenamedDefs;
+        [&](PipelineStats &Delta, DeltaCheckpoint &Ck) {
+          Delta.PreRenamedDefs =
+              preRenameLocals(F, Ck.armed() ? &Ck : nullptr).RenamedDefs;
           return Status::ok();
         },
         /*RegionScoped=*/false);
@@ -594,15 +809,16 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
   // Step 5: the basic-block scheduler with its (per the paper, more
   // detailed) machine model runs over every block.
   if (Opts.RunLocalScheduler)
-    runTransaction(
+    runDeltaTransaction(
         Ctx, "local", -1,
-        [&](PipelineStats &Delta) {
+        [&](PipelineStats &Delta, DeltaCheckpoint &Ck) {
           obs::SchedSink Sink;
           if (Opts.CollectCounters)
             Sink.Counters = &Delta.Counters;
           if (Opts.CollectDecisions)
             Sink.Decisions = &Delta.Decisions;
-          Delta.Local = scheduleLocal(F, MD, Sink, Opts.Incremental);
+          Delta.Local = scheduleLocal(F, MD, Sink, Opts.Incremental,
+                                      Ctx.Cache, Ck.armed() ? &Ck : nullptr);
           return Status::ok();
         },
         /*RegionScoped=*/false);
@@ -648,15 +864,17 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     }
     if (Committed && Opts.RescheduleAfterAlloc && Opts.RunLocalScheduler) {
       F.renumberOriginalOrder();
-      runTransaction(
+      runDeltaTransaction(
           Ctx, "postalloc", -1,
-          [&](PipelineStats &Delta) {
+          [&](PipelineStats &Delta, DeltaCheckpoint &Ck) {
             obs::SchedSink Sink;
             if (Opts.CollectCounters)
               Sink.Counters = &Delta.Counters;
             if (Opts.CollectDecisions)
               Sink.Decisions = &Delta.Decisions;
-            Delta.Local = scheduleLocal(F, MD, Sink, Opts.Incremental);
+            Delta.Local = scheduleLocal(F, MD, Sink, Opts.Incremental,
+                                        Ctx.Cache,
+                                        Ck.armed() ? &Ck : nullptr);
             return Status::ok();
           },
           /*RegionScoped=*/false);
@@ -668,6 +886,15 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
   for (obs::Decision &D : Stats.Decisions)
     if (D.Fn.empty())
       D.Fn = F.name();
+  // Cache effectiveness of the whole run.  Bumped once at the end (the
+  // cache is shared across stages, so per-stage deltas would double
+  // count); request totals are deterministic -- one facts and one
+  // reachability request per region build -- so these are exact for
+  // every --region-jobs width like the rest of the registry.
+  if (Opts.CollectCounters && Ctx.Cache) {
+    Stats.Counters.bump(obs::ColdDisambigCacheHits, DCache.hits());
+    Stats.Counters.bump(obs::ColdDisambigCacheMisses, DCache.misses());
+  }
   return Stats;
 }
 

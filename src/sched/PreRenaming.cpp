@@ -3,11 +3,12 @@
 #include "sched/PreRenaming.h"
 
 #include "analysis/Liveness.h"
+#include "ir/Checkpoint.h"
 #include "sched/Renaming.h"
 
 using namespace gis;
 
-PreRenamingStats gis::preRenameLocals(Function &F) {
+PreRenamingStats gis::preRenameLocals(Function &F, DeltaCheckpoint *Ckpt) {
   PreRenamingStats Stats;
   Liveness LV = Liveness::compute(F);
 
@@ -15,6 +16,7 @@ PreRenamingStats gis::preRenameLocals(Function &F) {
     // Walk a snapshot of the block: renameLocalDef rewrites instructions
     // in place but never adds or removes them.
     std::vector<InstrId> Instrs = F.block(B).instrs();
+    bool NotedBlock = false;
     for (size_t Pos = 0; Pos != Instrs.size(); ++Pos) {
       InstrId Id = Instrs[Pos];
       const Instruction &I = F.instr(Id);
@@ -38,6 +40,13 @@ PreRenamingStats gis::preRenameLocals(Function &F) {
         }
       if (!RedefinedLater)
         continue;
+      // A rename rewrites pool entries of this block only (the def and
+      // its block-local uses); save them once before the first one.
+      if (Ckpt && !NotedBlock) {
+        for (InstrId Entry : Instrs)
+          Ckpt->noteInstr(Entry);
+        NotedBlock = true;
+      }
       if (renameLocalDef(F, B, Id, D, LV))
         ++Stats.RenamedDefs;
     }

@@ -27,14 +27,19 @@
 
 namespace gis {
 
+class DeltaCheckpoint;
+
 /// Statistics of one pre-renaming pass.
 struct PreRenamingStats {
   unsigned RenamedDefs = 0;
 };
 
 /// Renames block-local values of \p F to fresh registers (CFG must be up
-/// to date).  Semantics-preserving.
-PreRenamingStats preRenameLocals(Function &F);
+/// to date).  Semantics-preserving.  \p Ckpt (optional) receives
+/// first-touch records of the pool entries this pass may rewrite -- a
+/// rename touches only instructions of the def's own block, so one
+/// block's worth of entries is noted before its first rename.
+PreRenamingStats preRenameLocals(Function &F, DeltaCheckpoint *Ckpt = nullptr);
 
 } // namespace gis
 

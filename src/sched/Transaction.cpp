@@ -58,3 +58,77 @@ gis::runFunctionTransaction(Function &F, const char *Stage,
   Snap.restore(F);
   return R;
 }
+
+TransactionResult
+gis::runFunctionTransactionDelta(Function &F, const char *Stage,
+                                 const TransactionConfig &Cfg,
+                                 DeltaCheckpoint &Ck,
+                                 const std::function<Status()> &Body) {
+  if (!Cfg.Enabled) {
+    TransactionResult R;
+    R.S = Body();
+    if (!R.S.isOk())
+      fatalError(__FILE__, __LINE__, R.S.str().c_str());
+    R.Committed = true;
+    return R;
+  }
+  // The oracle needs the complete pre-body function as its reference;
+  // delegate to the full-snapshot path (the body still notes into Ck,
+  // harmlessly).
+  if (Cfg.EnableOracle && Cfg.OracleModule)
+    return runFunctionTransaction(F, Stage, Cfg, Body);
+
+#ifdef GIS_SLOWPATH_CHECK
+  FunctionSnapshot RefSnap(F);
+#endif
+
+  TransactionResult R;
+  R.S = Body();
+  if (!R.S.isOk())
+    R.EngineFailure = true;
+
+  // Whole-function test corruption rewrites instruction lists only; save
+  // every list first so the checkpoint can undo it.
+  if (R.S.isOk() && FaultInjector::instance().shouldFire(Stage)) {
+    Ck.noteAllBlocks();
+    if (corruptFunctionForTest(F))
+      R.FaultInjected = true;
+  }
+
+  // "ckpt-delta" fault: lose one record rollback genuinely needs, then
+  // corrupt so the verifier forces that rollback.  Only meaningful when
+  // the body actually produced records.
+  if (R.S.isOk() && Ck.hasRecords() &&
+      FaultInjector::instance().shouldFire("ckpt-delta")) {
+    if (Ck.dropOneRecordForTest()) {
+      Ck.noteAllBlocks();
+      if (corruptFunctionForTest(F))
+        R.FaultInjected = true;
+    }
+  }
+
+  if (R.S.isOk() && Cfg.VerifyStructural) {
+    std::vector<std::string> Problems = verifyFunction(F);
+    if (!Problems.empty()) {
+      R.S = Status::error(ErrorCode::VerifierStructural, Problems.front());
+      R.VerifierFailure = true;
+    }
+  }
+
+  if (R.S.isOk()) {
+    R.Committed = true;
+    return R;
+  }
+
+  if (!Ck.restore(F))
+    fatalError(__FILE__, __LINE__,
+               "delta checkpoint integrity check failed: rollback lost a "
+               "record (manifest mismatch)");
+#ifdef GIS_SLOWPATH_CHECK
+  if (!functionsIdentical(F, RefSnap.function()))
+    fatalError(__FILE__, __LINE__,
+               "slow-path check: delta rollback diverges from the full "
+               "snapshot");
+#endif
+  return R;
+}

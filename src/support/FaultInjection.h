@@ -32,6 +32,16 @@
 /// a refresh (priority-only corruption; the schedule may differ but stays
 /// legal).  Both set a force-full flag so the next update self-heals.
 ///
+/// The round-two incremental machinery (DESIGN.md section 15) registers
+/// two more: "disambig-cache" flips one provablyDisjoint answer of the
+/// memory disambiguator (a poisoned cached alias fact; the fabricated
+/// independence edge can admit an illegal motion, which the verifier or
+/// the interpreter oracle must catch before commit), and "ckpt-delta"
+/// drops one record from a delta checkpoint right before rollback (a
+/// lost-delta simulation; the restore's manifest check must detect the
+/// incomplete rollback and abort rather than continue from a silently
+/// half-restored function).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SUPPORT_FAULTINJECTION_H

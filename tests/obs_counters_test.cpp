@@ -164,13 +164,24 @@ TEST(ObsCounters, ColdpathCountersTrackIncrementalMode) {
     EXPECT_EQ(FS.Counters.get(obs::ColdLivenessDelta), 0u) << Tag;
     EXPECT_EQ(FS.Counters.get(obs::ColdHeurBlockRecomputes), 0u) << Tag;
     EXPECT_EQ(FS.Counters.get(obs::ColdFastForwards), 0u) << Tag;
+    // Neither do the caches, delta checkpoints or scoped verification.
+    EXPECT_EQ(FS.Counters.get(obs::ColdDisambigCacheHits), 0u) << Tag;
+    EXPECT_EQ(FS.Counters.get(obs::ColdDisambigCacheMisses), 0u) << Tag;
+    EXPECT_EQ(FS.Counters.get(obs::ColdCkptBytes), 0u) << Tag;
+    EXPECT_EQ(FS.Counters.get(obs::ColdVerifyBlocksScoped), 0u) << Tag;
+    EXPECT_EQ(FS.Counters.get(obs::ColdVerifyBlocksTotal), 0u) << Tag;
+    // ... and the incremental mode actually exercises them.
+    EXPECT_GT(IS.Counters.get(obs::ColdDisambigCacheHits), 0u) << Tag;
+    EXPECT_GT(IS.Counters.get(obs::ColdDisambigCacheMisses), 0u) << Tag;
 
     // Outside the coldpath group the runs are indistinguishable.
     obs::CounterSet A = IS.Counters, B = FS.Counters;
     for (obs::CounterId Id :
          {obs::ColdArenaBytes, obs::ColdDdgNodes, obs::ColdLivenessDelta,
           obs::ColdLivenessFull, obs::ColdHeurBlockRecomputes,
-          obs::ColdFastForwards}) {
+          obs::ColdFastForwards, obs::ColdDisambigCacheHits,
+          obs::ColdDisambigCacheMisses, obs::ColdCkptBytes,
+          obs::ColdVerifyBlocksScoped, obs::ColdVerifyBlocksTotal}) {
       A.V[static_cast<unsigned>(Id)] = 0;
       B.V[static_cast<unsigned>(Id)] = 0;
     }
