@@ -67,6 +67,12 @@
 //     --no-unroll --no-rotate --no-local --no-renaming --no-prerename
 //     --all-levels               schedule every region nesting level
 //     --duplication              enable join replication (Definition 6)
+//     --superblocks              superblock formation: trace picking +
+//                                tail duplication + superblock scheduling
+//                                (profile-guided with --profile)
+//     --trace-max-blocks N       trace length cap in blocks (default 8)
+//     --trace-dup-budget N       per-function cap on instructions cloned
+//                                by tail duplication (default 64)
 //   machine:
 //     --machine rs6k             (default)
 //     --machine FXxFPxBR         e.g. --machine 4x1x2
@@ -102,9 +108,17 @@
 //     --run[=ENTRY]              interpret after scheduling (default: main)
 //     --arg N                    argument for the entry (repeatable)
 //     --cycles                   also report simulated RS/6000 cycles
+//     --predictor none|taken|bimodal|oracle
+//                                branch predictor for --cycles (default
+//                                none: branches cost nothing, as in the
+//                                paper's model); mispredicts charge a
+//                                refetch penalty
+//     --mispredict-penalty N     refetch penalty in cycles (default 3)
 //     --profile                  run the entry once before scheduling and
-//                                feed the block frequencies to the
-//                                scheduler (profile-guided speculation)
+//                                feed the block and branch-edge
+//                                frequencies to the scheduler
+//                                (profile-guided speculation and
+//                                superblock formation)
 //
 //===----------------------------------------------------------------------===//
 
@@ -162,6 +176,10 @@ struct CliOptions {
   std::vector<int64_t> Args;
   bool Cycles = false;
   bool Profile = false;
+  /// --predictor / --mispredict-penalty (machine/BranchPredictor.h); the
+  /// oracle kind prices the --cycles trace against a profile taken from
+  /// that same run -- the best static prediction possible for it.
+  BranchPredictorOptions Predictor;
   bool EngineRequested = false; ///< --jobs or --batch given
   unsigned Jobs = 1;
   bool UseCache = true;
@@ -270,6 +288,37 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Pipeline.OnlyTwoInnerLevels = false;
     } else if (A == "--duplication") {
       Cli.Pipeline.AllowDuplication = true;
+    } else if (A == "--superblocks") {
+      Cli.Pipeline.EnableSuperblocks = true;
+    } else if (A == "--trace-max-blocks") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Pipeline.TraceMaxBlocks = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--trace-dup-budget") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Pipeline.TraceDupBudget = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--predictor") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "none") == 0)
+        Cli.Predictor.Kind = PredictorKind::None;
+      else if (std::strcmp(V, "taken") == 0)
+        Cli.Predictor.Kind = PredictorKind::AlwaysTaken;
+      else if (std::strcmp(V, "bimodal") == 0)
+        Cli.Predictor.Kind = PredictorKind::Bimodal2Bit;
+      else if (std::strcmp(V, "oracle") == 0)
+        Cli.Predictor.Kind = PredictorKind::ProfileOracle;
+      else
+        return false;
+    } else if (A == "--mispredict-penalty") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Cli.Predictor.MispredictPenalty = static_cast<unsigned>(std::atoi(V));
     } else if (A == "--machine") {
       const char *V = Next();
       if (!V || !parseMachine(V, Cli.Machine))
@@ -836,6 +885,7 @@ int main(int argc, char **argv) {
       return 1;
     }
     Profile.record(*Entry, I.blockCounts());
+    Profile.recordEdges(*Entry, I.edgeCounts());
     Cli.Pipeline.Profile = &Profile;
   }
 
@@ -886,6 +936,14 @@ int main(int argc, char **argv) {
               << "\n  faults injected:      " << Stats.FaultsInjected
               << "\n  region waves:         " << Stats.RegionWaves
               << "  (--region-jobs " << Cli.Pipeline.RegionJobs << ")\n";
+    if (Cli.Pipeline.EnableSuperblocks)
+      std::cout << "  traces formed/truncated: " << Stats.TracesFormed << "/"
+                << Stats.TracesTruncated
+                << "\n  trace blocks claimed: " << Stats.TraceBlocks
+                << "\n  tail-dup instrs/blocks: " << Stats.TailDupInstrs
+                << "/" << Stats.TailDupBlocks
+                << "\n  superblocks scheduled: "
+                << Stats.SuperblocksScheduled << "\n";
     for (const RegionTime &RT : Stats.RegionTimes)
       std::cout << "    wave " << RT.Wave << " region "
                 << (RT.LoopIdx < 0 ? std::string("top")
@@ -913,7 +971,10 @@ int main(int argc, char **argv) {
                 << "\n";
       return 1;
     }
-    obs::writePipelineStatsJson(Out, Stats);
+    obs::writePipelineStatsJson(Out, Stats,
+                                Cli.Profile ? &Profile : nullptr,
+                                Cli.Profile ? M->findFunction(Cli.Entry)
+                                            : nullptr);
   }
 
   if (Cli.Run) {
@@ -944,9 +1005,24 @@ int main(int argc, char **argv) {
     std::cout << "instructions executed: " << R.InstrCount << "\n";
     if (Cli.Cycles) {
       TimingSimulator Sim(Cli.Machine);
+      BranchPredictorOptions POpts = Cli.Predictor;
+      // The oracle predictor prices this very run: record its edge
+      // profile (block ids match -- same scheduled function) and predict
+      // each branch's majority direction.
+      ProfileData RunProfile;
+      if (POpts.Kind == PredictorKind::ProfileOracle) {
+        RunProfile.recordEdges(*Entry, I.edgeCounts());
+        POpts.Profile = &RunProfile;
+      }
+      Sim.setPredictor(POpts);
       TimingResult T = Sim.simulate(I.trace());
       std::cout << "simulated cycles: " << T.Cycles
                 << "  (ipc " << T.ipc() << ")\n";
+      if (POpts.Kind != PredictorKind::None)
+        std::cout << "branches: " << T.Branches
+                  << "  mispredicts: " << T.Mispredicts
+                  << "  branch stall cycles: " << T.BranchStallCycles
+                  << "\n";
     }
   }
   return 0;

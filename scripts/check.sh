@@ -35,7 +35,7 @@ run_suite "$ROOT/build"
 echo "== sanitized build (address,undefined) =="
 run_suite "$ROOT/build-san" -DGIS_SANITIZE=address,undefined
 
-echo "== sanitized build (thread): parallel + obs + regalloc + persist + opt + perf-equiv suites =="
+echo "== sanitized build (thread): parallel + obs + regalloc + persist + opt + perf-equiv + trace suites =="
 build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # The "parallel" label covers gis_parallel_tests: the batch engine, the
 # thread pool / cache / hashing units, and the region-parallel scheduling
@@ -55,8 +55,11 @@ build_tree "$ROOT/build-tsan" -DGIS_SANITIZE=thread
 # cache-isolation test shares memory and disk tiers across -O levels.
 # The "perf-equiv" label covers gis_coldpath_tests: the incremental
 # scheduler's per-region state is built and torn down on region worker
-# threads, so the equivalence fuzz runs under TSan too.
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist|opt|perf-equiv'
+# threads, so the equivalence fuzz runs under TSan too.  The "trace"
+# label covers gis_trace_tests: tail-duplicated functions are scheduled
+# through the region-parallel wave machinery (its determinism test runs
+# --region-jobs 4), so the superblock suite runs under TSan as well.
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -L 'parallel|obs|regalloc|persist|opt|perf-equiv|trace'
 
 echo "== slowpath-check build (GIS_SLOWPATH_CHECK=ON): perf-equiv suite =="
 # The incremental cold path re-derives every liveness set, heuristic

@@ -23,6 +23,51 @@ SchedRegion SchedRegion::buildSingleBlock(const Function &F, BlockId B) {
   return R;
 }
 
+SchedRegion SchedRegion::buildTrace(const Function &F,
+                                    const std::vector<BlockId> &Chain,
+                                    int TraceIndex) {
+  GIS_ASSERT(!Chain.empty(), "superblock trace must be nonempty");
+  GIS_ASSERT(TraceIndex >= 0, "trace index must be nonnegative");
+  SchedRegion R;
+  R.LoopIdx = -2 - TraceIndex;
+  R.BlockToNode.assign(F.numBlocks(), -1);
+  for (BlockId B : Chain) {
+    GIS_ASSERT(R.BlockToNode[B] < 0, "block repeated in superblock trace");
+    R.BlockToNode[B] = static_cast<int>(R.Nodes.size());
+    RegionNode N;
+    N.Block = B;
+    R.Nodes.push_back(N);
+    ++R.RealBlocks;
+    R.NumInstrs += static_cast<unsigned>(F.block(B).size());
+  }
+  R.Entry = 0;
+
+  // Forward edges: in-chain CFG edges (necessarily to the next chain
+  // position, by the single-entry property), minus a loop-back edge to
+  // the head.  Any off-chain successor is a side exit of the superblock.
+  R.Forward = DiGraph(R.numNodes(), R.Entry);
+  BitSet IsExit(R.numNodes());
+  for (unsigned N = 0; N != R.numNodes(); ++N) {
+    for (BlockId S : F.block(Chain[N]).succs()) {
+      int To = R.BlockToNode[S];
+      if (To < 0) {
+        IsExit.set(N);
+        continue;
+      }
+      if (static_cast<unsigned>(To) == R.Entry)
+        continue; // loop-back to the trace head, like a loop back edge
+      GIS_ASSERT(static_cast<unsigned>(To) == N + 1,
+                 "superblock edge must go to the next trace block");
+      R.Forward.addEdge(N, static_cast<unsigned>(To));
+    }
+  }
+  IsExit.forEach([&](unsigned N) { R.Exits.push_back(N); });
+
+  GIS_ASSERT(isAcyclic(R.Forward), "superblock forward graph must be acyclic");
+  R.Topo = topologicalOrder(R.Forward);
+  return R;
+}
+
 SchedRegion SchedRegion::build(const Function &F, const LoopInfo &LI,
                                int LoopIndex) {
   SchedRegion R;

@@ -52,8 +52,30 @@ public:
   /// proper require reducibility).
   static SchedRegion buildSingleBlock(const Function &F, BlockId B);
 
-  /// The loop this region represents (-1 for the top-level region).
+  /// Builds a superblock region over \p Chain: a linear single-entry
+  /// trace (trace/TraceFormation.h) whose blocks appear in trace order.
+  /// The caller guarantees the single-entry property -- every block but
+  /// the head has the preceding chain block as its only CFG predecessor
+  /// (tail duplication restores this when formation crossed a join) --
+  /// so the head dominates every trace block and region dominance over
+  /// the chain is exact, the same soundness argument RegionSlice makes
+  /// for loop regions.  Off-chain successors become region exits; a
+  /// loop-back edge to the head is dropped like a loop region's back
+  /// edge.  \p TraceIndex tags the region for diagnostics (encoded in
+  /// loopIndex() as -2 - TraceIndex; see isTrace()/traceIndex()).
+  static SchedRegion buildTrace(const Function &F,
+                                const std::vector<BlockId> &Chain,
+                                int TraceIndex);
+
+  /// The loop this region represents (-1 for the top-level region;
+  /// values <= -2 encode superblock traces, see buildTrace).
   int loopIndex() const { return LoopIdx; }
+
+  /// True when this region is a superblock trace (built by buildTrace).
+  bool isTrace() const { return LoopIdx <= -2; }
+
+  /// The trace index this superblock region was built from, or -1.
+  int traceIndex() const { return isTrace() ? -2 - LoopIdx : -1; }
 
   const std::vector<RegionNode> &nodes() const { return Nodes; }
   unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }

@@ -57,6 +57,13 @@ uint64_t gis::fingerprintOptions(const PipelineOptions &Opts) {
   H.addBool(Opts.RunLocalScheduler);
   H.addBool(Opts.AllowDuplication);
   H.addU32(Opts.MaxDuplicationsPerRegion);
+  // Superblock formation rewrites the CFG (tail duplication) and
+  // reschedules the hot chains, so every knob that steers it splits the
+  // cache -- in the memory tier and the shared on-disk tier alike
+  // (asserted by tests/superblock_test.cpp).
+  H.addBool(Opts.EnableSuperblocks);
+  H.addU32(Opts.TraceMaxBlocks);
+  H.addU32(Opts.TraceDupBudget);
   H.addBool(Opts.EnableTransactions);
   H.addBool(Opts.VerifyStructural);
   H.addBool(Opts.VerifySemantic);

@@ -11,6 +11,7 @@ ExecResult Interpreter::run(const Function &F, uint64_t MaxSteps) {
   ExecResult Result;
   Trace.clear();
   BlockCounts.assign(F.numBlocks(), 0);
+  EdgeCounts.clear();
   EntryFn = &F;
   execFrame(F, EntryIntRegs, EntryFpRegs, MaxSteps, 0, Result);
   return Result;
@@ -56,10 +57,12 @@ void Interpreter::execFrame(const Function &F, IntFrame &IntRegs,
     const BasicBlock &BB = F.block(Cur);
 
     auto EnterBlock = [&](BlockId Next) {
+      if (&F == EntryFn) {
+        ++BlockCounts[Next];
+        ++EdgeCounts[edgeKey(Cur, Next)];
+      }
       Cur = Next;
       Pos = 0;
-      if (&F == EntryFn)
-        ++BlockCounts[Next];
     };
 
     if (Pos >= BB.instrs().size()) {
@@ -81,7 +84,7 @@ void Interpreter::execFrame(const Function &F, IntFrame &IntRegs,
     const Instruction &I = F.instr(Id);
     ++Result.InstrCount;
     if (TraceEnabled)
-      Trace.push_back(TraceEntry{&F, Id});
+      Trace.push_back(TraceEntry{&F, Id, false, Cur});
     ++Pos;
 
     switch (I.opcode()) {
@@ -206,6 +209,8 @@ void Interpreter::execFrame(const Function &F, IntFrame &IntRegs,
                          : (I.cond() == CondBit::GT ? CRGt : CREq);
       bool BitSet = (CR & Mask) != 0;
       bool Taken = I.opcode() == Opcode::BT ? BitSet : !BitSet;
+      if (TraceEnabled)
+        Trace.back().BranchTaken = Taken;
       if (Taken) {
         EnterBlock(I.target());
       } else {

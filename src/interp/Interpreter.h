@@ -30,6 +30,7 @@
 #include "ir/Module.h"
 
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,12 @@ namespace gis {
 struct TraceEntry {
   const Function *Fn;
   InstrId Instr;
+  /// For conditional branches: whether this execution took the branch
+  /// (replayed by the timing simulator's branch predictor).
+  bool BranchTaken = false;
+  /// Block the instruction executed in (InvalidId for hand-built traces
+  /// that never consult a predictor).
+  BlockId Block = InvalidId;
 };
 
 /// Outcome of one interpreter run.
@@ -96,6 +103,19 @@ public:
   /// Per-block dynamic execution counts of the entry function, last run.
   const std::vector<uint64_t> &blockCounts() const { return BlockCounts; }
 
+  /// Per-edge dynamic transition counts of the entry function, last run:
+  /// key is (From << 32) | To, value the number of times control passed
+  /// directly from block From to block To (taken branches, fall-throughs
+  /// and explicit jumps all count; edges never taken are absent).  An
+  /// ordered map so iteration -- and any JSON emitted from it -- is
+  /// deterministic.
+  const std::map<uint64_t, uint64_t> &edgeCounts() const { return EdgeCounts; }
+
+  /// Packs/unpacks the edge-count key.
+  static uint64_t edgeKey(BlockId From, BlockId To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
+  }
+
   /// Executes \p F from its entry block.  Memory and the entry frame
   /// persist across runs (so callers can pre-seed state); the trace and
   /// block counts are reset per run.
@@ -118,6 +138,7 @@ private:
   bool TraceEnabled = false;
   std::vector<TraceEntry> Trace;
   std::vector<uint64_t> BlockCounts;
+  std::map<uint64_t, uint64_t> EdgeCounts;
   const Function *EntryFn = nullptr;
 
   static constexpr unsigned MaxCallDepth = 64;

@@ -41,6 +41,7 @@ TimingSimulator::simulate(const std::vector<TraceEntry> &Trace) const {
 
   uint64_t PrevIssue = 0;
   uint64_t Completion = 0;
+  BranchPredictor Pred(PredOpts);
 
   for (const TraceEntry &E : Trace) {
     const Function &F = *E.Fn;
@@ -96,11 +97,27 @@ TimingSimulator::simulate(const std::vector<TraceEntry> &Trace) const {
     if (I.opcode() == Opcode::SPILL || I.opcode() == Opcode::SPILLF)
       RegProducer[{&F, SlotKey(I)}] = Producer{I.opcode(), T + Exec};
 
+    // A mispredicted conditional branch stalls the in-order front end:
+    // nothing later issues before the branch resolves (T + Exec) plus the
+    // refetch penalty.  Correct predictions are free -- the speculative
+    // fetch down the predicted path continues uninterrupted.
+    if (Pred.enabled() &&
+        (I.opcode() == Opcode::BT || I.opcode() == Opcode::BF) &&
+        Pred.observe(F, E.Block, E.Instr, E.BranchTaken)) {
+      uint64_t Resume = T + Exec + PredOpts.MispredictPenalty;
+      if (Resume > PrevIssue) {
+        Result.BranchStallCycles += Resume - PrevIssue;
+        PrevIssue = Resume;
+      }
+    }
+
     if (RecordIssue)
       Result.IssueTimes.push_back(T);
   }
 
-  Result.Cycles = Completion;
+  Result.Branches = Pred.stats().Branches;
+  Result.Mispredicts = Pred.stats().Mispredicts;
+  Result.Cycles = std::max(Completion, PrevIssue);
   return Result;
 }
 

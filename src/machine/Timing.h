@@ -30,6 +30,7 @@
 
 #include "interp/Interpreter.h"
 #include "ir/Function.h"
+#include "machine/BranchPredictor.h"
 #include "machine/MachineDescription.h"
 
 #include <vector>
@@ -44,6 +45,12 @@ struct TimingResult {
   std::vector<uint64_t> IssueTimes;
   /// Per-unit-type busy cycles (sums exec times of issued instructions).
   std::vector<uint64_t> UnitBusyCycles;
+
+  // Branch statistics; all zero unless a predictor is configured
+  // (TimingSimulator::setPredictor with a kind other than None).
+  uint64_t Branches = 0;          ///< conditional branches in the trace
+  uint64_t Mispredicts = 0;       ///< mispredicted among them
+  uint64_t BranchStallCycles = 0; ///< refetch penalty cycles charged
 
   /// Instructions per cycle.
   double ipc() const {
@@ -63,6 +70,13 @@ public:
   /// trace element (used by tests to measure steady-state loop periods).
   void recordIssueTimes(bool On) { RecordIssue = On; }
 
+  /// Configures branch prediction.  The default (PredictorKind::None)
+  /// models no branch cost at all: cycle counts stay bit-identical to the
+  /// interlock-only machine.  With any other kind, a mispredicted
+  /// conditional branch stalls the in-order front end until the branch
+  /// resolves plus the refetch penalty.
+  void setPredictor(const BranchPredictorOptions &O) { PredOpts = O; }
+
   /// Simulates a dynamic instruction trace (possibly spanning several
   /// functions, as recorded by the interpreter).
   TimingResult simulate(const std::vector<TraceEntry> &Trace) const;
@@ -80,6 +94,7 @@ public:
 private:
   MachineDescription MD;
   bool RecordIssue = false;
+  BranchPredictorOptions PredOpts;
 };
 
 /// Convenience: steady-state cycles per iteration of a loop, measured from

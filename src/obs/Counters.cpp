@@ -62,6 +62,11 @@ constexpr CounterInfo Infos[NumCounters] = {
     {"coldpath.ckpt_bytes", "bytes recorded by delta checkpoints"},
     {"coldpath.verify_blocks_scoped", "blocks verified by scoped sweeps"},
     {"coldpath.verify_blocks_total", "blocks in scoped-verified functions"},
+    {"trace.formed", "superblock traces formed"},
+    {"trace.blocks", "blocks claimed by traces"},
+    {"trace.tail_dup_instrs", "instructions cloned by tail duplication"},
+    {"trace.truncated", "traces truncated by the clone budget"},
+    {"trace.superblocks_scheduled", "superblocks scheduled as regions"},
 };
 
 } // namespace

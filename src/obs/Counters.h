@@ -117,6 +117,13 @@ enum class CounterId : unsigned {
   ColdVerifyBlocksScoped,  ///< blocks actually verified by scoped sweeps
   ColdVerifyBlocksTotal,   ///< blocks in functions verified by scoped sweeps
 
+  // Superblock formation (src/trace/; gisc --superblocks).
+  TraceFormed,               ///< traces formed (>= 2 blocks)
+  TraceBlocksClaimed,        ///< blocks claimed by formed traces
+  TraceTailDupInstrs,        ///< instructions cloned by tail duplication
+  TraceTruncated,            ///< traces cut short by the clone budget
+  TraceSuperblocksScheduled, ///< single-entry traces scheduled as regions
+
   NumCounters
 };
 
@@ -180,6 +187,12 @@ inline constexpr CounterId ColdVerifyBlocksScoped =
     CounterId::ColdVerifyBlocksScoped;
 inline constexpr CounterId ColdVerifyBlocksTotal =
     CounterId::ColdVerifyBlocksTotal;
+inline constexpr CounterId TraceFormed = CounterId::TraceFormed;
+inline constexpr CounterId TraceBlocksClaimed = CounterId::TraceBlocksClaimed;
+inline constexpr CounterId TraceTailDupInstrs = CounterId::TraceTailDupInstrs;
+inline constexpr CounterId TraceTruncated = CounterId::TraceTruncated;
+inline constexpr CounterId TraceSuperblocksScheduled =
+    CounterId::TraceSuperblocksScheduled;
 
 /// Stable machine-readable key of a counter ("motion.useful", "rule.delay_useful", ...).
 std::string_view counterKey(CounterId Id);

@@ -104,6 +104,12 @@ void writePipelineFields(std::ostream &OS, const PipelineStats &S,
   W.field("loops_rotated", S.LoopsRotated);
   W.field("prerenamed_defs", S.PreRenamedDefs);
   W.field("duplicated_instrs", S.DuplicatedInstrs);
+  W.field("traces_formed", S.TracesFormed);
+  W.field("trace_blocks", S.TraceBlocks);
+  W.field("tail_dup_instrs", S.TailDupInstrs);
+  W.field("tail_dup_blocks", S.TailDupBlocks);
+  W.field("traces_truncated", S.TracesTruncated);
+  W.field("superblocks_scheduled", S.SuperblocksScheduled);
   W.field("regions_skipped_by_size", S.RegionsSkippedBySize);
   W.field("functions_skipped_irreducible", S.FunctionsSkippedIrreducible);
   W.field("region_waves", S.RegionWaves);
@@ -131,11 +137,30 @@ void writePipelineFields(std::ostream &OS, const PipelineStats &S,
 
 } // namespace
 
-void obs::writePipelineStatsJson(std::ostream &OS, const PipelineStats &S) {
+void obs::writePipelineStatsJson(std::ostream &OS, const PipelineStats &S,
+                                 const ProfileData *Profile,
+                                 const Function *ProfiledEntry) {
   OS << "{\n  \"schema\": \"gis-stats-v1\",\n  \"pipeline\": ";
   writePipelineFields(OS, S, "    ");
   OS << ",\n  \"counters\": ";
   writeCounters(OS, S.Counters, "    ");
+  if (Profile && ProfiledEntry && Profile->hasFunction(ProfiledEntry->name())) {
+    const Function &F = *ProfiledEntry;
+    OS << ",\n  \"profile\": {\n    \"function\": ";
+    writeJsonString(OS, F.name());
+    OS << ",\n    \"blocks\": [";
+    for (BlockId B = 0; B != F.numBlocks(); ++B)
+      OS << (B ? ", " : "") << Profile->frequency(F, B);
+    OS << "],\n    \"edges\": [";
+    bool FirstEdge = true;
+    for (const auto &[Key, Count] : Profile->edges(F.name())) {
+      OS << (FirstEdge ? "" : ", ") << "{\"from\": " << (Key >> 32)
+         << ", \"to\": " << (Key & 0xffffffffu) << ", \"count\": " << Count
+         << "}";
+      FirstEdge = false;
+    }
+    OS << "]\n  }";
+  }
   OS << "\n}\n";
 }
 

@@ -23,13 +23,19 @@ namespace gis {
 
 struct PipelineStats;
 struct EngineReport;
+class ProfileData;
+class Function;
 
 namespace obs {
 
 /// Writes one pipeline run's statistics ({"schema": "gis-stats-v1", ...}):
 /// the PipelineStats scalars, the counter registry, and the per-region
-/// times.
-void writePipelineStatsJson(std::ostream &OS, const PipelineStats &S);
+/// times.  When \p Profile carries data for \p ProfiledEntry (gisc
+/// --profile), a "profile" section surfaces its per-block execution
+/// counts and per-edge branch counts.
+void writePipelineStatsJson(std::ostream &OS, const PipelineStats &S,
+                            const ProfileData *Profile = nullptr,
+                            const Function *ProfiledEntry = nullptr);
 
 /// Writes a batch-engine report ({"schema": "gis-engine-stats-v1", ...}):
 /// engine scalars, the aggregate pipeline statistics and counter registry,

@@ -18,6 +18,8 @@
 #include "sched/Unroll.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
+#include "trace/TailDuplication.h"
+#include "trace/TraceFormation.h"
 
 #include <algorithm>
 #include <array>
@@ -236,22 +238,25 @@ std::vector<unsigned> loopHeights(const LoopInfo &LI) {
   return H;
 }
 
-/// Schedules one wave of mutually independent regions (\p LoopIdxs; -1 is
-/// the top-level region).  \p PoolFor returns the pool to dispatch on (or
-/// null to run inline) given the number of runnable tasks.
-void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
-                        const std::vector<int> &LoopIdxs,
-                        const std::function<ThreadPool *(size_t)> &PoolFor) {
+/// Schedules one wave of mutually independent, pre-built regions.  Shared
+/// by the loop-forest waves (scheduleRegionWave below, which builds the
+/// regions from loop indices) and the superblock phase (whose trace
+/// regions have no loop index; SchedRegion::buildTrace).  Each task is
+/// identified by its region's loopIndex() -- a real loop index, -1 for
+/// the top-level region, or a trace encoding (<= -2) -- used only for
+/// diagnostics and timing records.
+void scheduleRegionWavePrebuilt(
+    TxContext &Ctx, std::vector<SchedRegion> Regions,
+    const std::function<ThreadPool *(size_t)> &PoolFor) {
   const bool Transactional = Ctx.Opts.EnableTransactions;
 
-  // Serial setup on the master function: region shapes, size limits,
-  // slices.  The whole-function liveness is computed once per wave and
-  // only used to freeze the slices' out-of-region boundaries.
+  // Serial setup on the master function: size limits, slices.  The
+  // whole-function liveness is computed once per wave and only used to
+  // freeze the slices' out-of-region boundaries.
   std::vector<std::unique_ptr<RegionTask>> Tasks;
   Liveness WaveLV;
   bool HaveWaveLV = false;
-  for (int LoopIdx : LoopIdxs) {
-    SchedRegion R = SchedRegion::build(Ctx.F, LI, LoopIdx);
+  for (SchedRegion &R : Regions) {
     if (R.numRealBlocks() > Ctx.Opts.RegionBlockLimit ||
         R.numInstrs() > Ctx.Opts.RegionInstrLimit) {
       ++Ctx.Stats.RegionsSkippedBySize;
@@ -262,7 +267,7 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
       HaveWaveLV = true;
     }
     auto T = std::make_unique<RegionTask>();
-    T->LoopIdx = LoopIdx;
+    T->LoopIdx = R.loopIndex();
     T->Slice = RegionSlice::build(Ctx.F, std::move(R), WaveLV);
     Tasks.push_back(std::move(T));
   }
@@ -555,6 +560,19 @@ void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
   ++Ctx.Stats.RegionWaves;
 }
 
+/// Schedules one wave of mutually independent regions (\p LoopIdxs; -1 is
+/// the top-level region).  \p PoolFor returns the pool to dispatch on (or
+/// null to run inline) given the number of runnable tasks.
+void scheduleRegionWave(TxContext &Ctx, const LoopInfo &LI,
+                        const std::vector<int> &LoopIdxs,
+                        const std::function<ThreadPool *(size_t)> &PoolFor) {
+  std::vector<SchedRegion> Regions;
+  Regions.reserve(LoopIdxs.size());
+  for (int LoopIdx : LoopIdxs)
+    Regions.push_back(SchedRegion::build(Ctx.F, LI, LoopIdx));
+  scheduleRegionWavePrebuilt(Ctx, std::move(Regions), PoolFor);
+}
+
 } // namespace
 
 PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
@@ -774,6 +792,108 @@ PipelineStats gis::schedulePipeline(Function &F, const MachineDescription &MD,
     if (ScheduleTop) {
       obs::TraceSpan TopSpan("pass2", "stage");
       scheduleRegionWave(Ctx, LI, {-1}, PoolFor);
+    }
+
+    // Superblock formation (DESIGN.md section 16): pick hot chains by
+    // mutual-most-likely edge selection (static branch-not-taken heuristic
+    // without a profile), tail-duplicate their side entrances away, and
+    // reschedule each surviving single-entry chain as one multi-exit
+    // region.  Runs after the top-level wave so the superblock pass has
+    // the last word over the hot path's code motion.  Formation is pure
+    // analysis in its own transaction ("trace-form"); each duplication is
+    // a separate "tail-dup" transaction -- a rollback drops that one
+    // trace and its budget spend, never the whole phase.
+    if (Opts.EnableSuperblocks) {
+      LI = LoopInfo::compute(F);
+      TraceFormationOptions TOpts;
+      TOpts.MaxBlocks = std::min(Opts.TraceMaxBlocks, Opts.RegionBlockLimit);
+      TOpts.Profile = Opts.Profile;
+      std::vector<SuperblockTrace> Traces;
+      bool Formed = runTransaction(
+          Ctx, "trace-form", -1,
+          [&](PipelineStats &Delta) {
+            Traces = formTraces(F, LI, TOpts);
+            for (const SuperblockTrace &T : Traces) {
+              ++Delta.TracesFormed;
+              Delta.TraceBlocks += static_cast<unsigned>(T.Blocks.size());
+            }
+            if (Opts.CollectCounters) {
+              Delta.Counters.bump(obs::TraceFormed, Traces.size());
+              Delta.Counters.bump(obs::TraceBlocksClaimed, Delta.TraceBlocks);
+            }
+            return Status::ok();
+          },
+          /*RegionScoped=*/false);
+      if (!Formed)
+        Traces.clear(); // the phase degrades to a no-op, nothing half-formed
+
+      // Hottest trace first: it spends the clone budget before lukewarm
+      // ones (stable, so the no-profile order is layout order).
+      std::stable_sort(Traces.begin(), Traces.end(),
+                       [](const SuperblockTrace &A, const SuperblockTrace &B) {
+                         return A.HeadFreq > B.HeadFreq;
+                       });
+
+      unsigned BudgetLeft = Opts.TraceDupBudget;
+      for (SuperblockTrace &T : Traces) {
+        // Entrances are re-derived on the current CFG rather than trusted
+        // from formation: an earlier trace's duplication may have added or
+        // removed entrances of this one.
+        F.recomputeCFG();
+        if (findFirstSideEntrance(F, T.Blocks) < 0)
+          continue;
+        // The transform mutates the trace and the budget; operate on
+        // copies and write back only on commit, so a rollback restores
+        // both (the snapshot restores only the function).
+        SuperblockTrace Tmp = T;
+        unsigned Bud = BudgetLeft;
+        TailDuplicationStats DS;
+        bool Committed = runTransaction(
+            Ctx, "tail-dup", -1,
+            [&](PipelineStats &Delta) {
+              DS = duplicateTails(F, Tmp, Bud);
+              Delta.TailDupInstrs += DS.ClonedInstrs;
+              Delta.TailDupBlocks += DS.ClonedBlocks + DS.TrampolineBlocks;
+              Delta.TracesTruncated += DS.TracesTruncated;
+              if (Opts.CollectCounters) {
+                Delta.Counters.bump(obs::TraceTailDupInstrs, DS.ClonedInstrs);
+                Delta.Counters.bump(obs::TraceTruncated, DS.TracesTruncated);
+              }
+              return Status::ok();
+            },
+            /*RegionScoped=*/true);
+        // The transform fires the "tail-dup" fault itself (it drops one
+        // cloned instruction -- the lost-duplicate bug class); the
+        // transaction wrapper cannot see that, so count it here.
+        if (DS.FaultInjected)
+          ++Stats.FaultsInjected;
+        if (Committed) {
+          T = std::move(Tmp);
+          BudgetLeft = Bud;
+        } else {
+          T.Blocks.clear(); // function rolled back; the trace goes with it
+        }
+      }
+
+      // One wave of trace regions: traces are block-disjoint, so they are
+      // mutually independent like a loop-forest level.  A chain that is
+      // still multi-entry (unaffordable tail, rollback) is not a region;
+      // its blocks were already scheduled by the regular passes.
+      F.recomputeCFG();
+      std::vector<SchedRegion> Regions;
+      int TraceIdx = 0;
+      for (const SuperblockTrace &T : Traces) {
+        if (T.Blocks.size() < 2 || findFirstSideEntrance(F, T.Blocks) >= 0)
+          continue;
+        Regions.push_back(SchedRegion::buildTrace(F, T.Blocks, TraceIdx++));
+      }
+      if (!Regions.empty()) {
+        Stats.SuperblocksScheduled += static_cast<unsigned>(Regions.size());
+        if (Opts.CollectCounters)
+          Stats.Counters.bump(obs::TraceSuperblocksScheduled, Regions.size());
+        obs::TraceSpan SBSpan("superblocks", "stage");
+        scheduleRegionWavePrebuilt(Ctx, std::move(Regions), PoolFor);
+      }
     }
 
     // Future-work extension: join replication (Definition 6) over the

@@ -113,6 +113,21 @@ struct PipelineOptions {
   bool AllowDuplication = false;
   unsigned MaxDuplicationsPerRegion = 16;
 
+  /// Superblock formation (DESIGN.md section 16; gisc --superblocks):
+  /// form traces by mutual-most-likely edge selection over recorded edge
+  /// profiles (ProfileData::recordEdges) -- static branch-not-taken
+  /// heuristic without one -- tail-duplicate the side entrances away, and
+  /// schedule each surviving chain as one single-entry region after the
+  /// top-level global pass.  All three fields are part of the
+  /// schedule-cache options fingerprint (engine/ScheduleCache.cpp).
+  bool EnableSuperblocks = false;
+  /// Maximum trace length in blocks (also capped by RegionBlockLimit).
+  unsigned TraceMaxBlocks = 8;
+  /// Per-function budget of instructions tail duplication may clone;
+  /// unaffordable tails truncate their trace instead (code-growth cap,
+  /// asserted by tests/superblock_test.cpp).
+  unsigned TraceDupBudget = 64;
+
   /// Worker threads for scheduling independent regions of one function
   /// concurrently (gisc --region-jobs).  1 runs regions inline; 0 uses the
   /// hardware thread count.  The scheduled output is bit-identical for
@@ -204,6 +219,14 @@ struct PipelineStats {
   unsigned RegionsSkippedBySize = 0;
   unsigned FunctionsSkippedIrreducible = 0;
 
+  // Superblock formation (PipelineOptions::EnableSuperblocks).
+  unsigned TracesFormed = 0;    ///< traces surviving formation (>= 2 blocks)
+  unsigned TraceBlocks = 0;     ///< blocks claimed by those traces
+  unsigned TailDupInstrs = 0;   ///< instructions cloned by tail duplication
+  unsigned TailDupBlocks = 0;   ///< clone + trampoline blocks created
+  unsigned TracesTruncated = 0; ///< traces cut short by the clone budget
+  unsigned SuperblocksScheduled = 0; ///< traces scheduled as regions
+
   /// Peak register pressure per class (GPR, FPR, CR) of the scheduled
   /// code, before any allocation (analysis/RegPressure.h) -- across
   /// functions the *maximum* is kept, not the sum.
@@ -267,6 +290,12 @@ struct PipelineStats {
     DuplicatedInstrs += RHS.DuplicatedInstrs;
     RegionsSkippedBySize += RHS.RegionsSkippedBySize;
     FunctionsSkippedIrreducible += RHS.FunctionsSkippedIrreducible;
+    TracesFormed += RHS.TracesFormed;
+    TraceBlocks += RHS.TraceBlocks;
+    TailDupInstrs += RHS.TailDupInstrs;
+    TailDupBlocks += RHS.TailDupBlocks;
+    TracesTruncated += RHS.TracesTruncated;
+    SuperblocksScheduled += RHS.SuperblocksScheduled;
     for (unsigned C = 0; C != 3; ++C)
       PressurePeak[C] = PressurePeak[C] > RHS.PressurePeak[C]
                             ? PressurePeak[C]

@@ -30,12 +30,28 @@ namespace gis {
 
 /// Per-function, per-block execution counts keyed by function name (so a
 /// profile collected on one compile of a program applies to a fresh
-/// compile of the same source).
+/// compile of the same source).  Alongside the block counts, a profile
+/// may carry per-edge branch counts -- how often control flowed directly
+/// from one block to another -- which is what superblock formation
+/// (trace/TraceFormation.h) needs: the mutual-most-likely criterion picks
+/// the successor that receives most of a block's outgoing flow *and*
+/// whose incoming flow mostly comes from that block, which block counts
+/// alone cannot distinguish at joins.
 class ProfileData {
 public:
+  /// Edge-count table of one function: key is (From << 32) | To (the same
+  /// packing as Interpreter::edgeKey), value the transition count.
+  using EdgeCountMap = std::map<uint64_t, uint64_t>;
+
   /// Records \p Counts (indexed by BlockId) for \p F.
   void record(const Function &F, std::vector<uint64_t> Counts) {
     BlockFreq[F.name()] = std::move(Counts);
+  }
+
+  /// Records per-edge transition counts for \p F (as produced by
+  /// Interpreter::edgeCounts).
+  void recordEdges(const Function &F, EdgeCountMap Counts) {
+    EdgeFreq[F.name()] = std::move(Counts);
   }
 
   /// Execution count of block \p B of \p F; 0 when unknown (unprofiled
@@ -47,6 +63,29 @@ public:
     return It->second[B];
   }
 
+  /// Transition count of the CFG edge \p From -> \p To of \p F; 0 when
+  /// unknown or never taken.
+  uint64_t edgeFrequency(const Function &F, BlockId From, BlockId To) const {
+    auto It = EdgeFreq.find(F.name());
+    if (It == EdgeFreq.end())
+      return 0;
+    auto EIt = It->second.find((static_cast<uint64_t>(From) << 32) | To);
+    return EIt == It->second.end() ? 0 : EIt->second;
+  }
+
+  /// True when per-edge counts were recorded for \p Name.
+  bool hasEdges(const std::string &Name) const {
+    return EdgeFreq.count(Name) != 0;
+  }
+
+  /// The edge-count table of \p Name (empty map when absent); for
+  /// --stats-json surfacing.
+  const EdgeCountMap &edges(const std::string &Name) const {
+    static const EdgeCountMap Empty;
+    auto It = EdgeFreq.find(Name);
+    return It == EdgeFreq.end() ? Empty : It->second;
+  }
+
   bool hasFunction(const std::string &Name) const {
     return BlockFreq.count(Name) != 0;
   }
@@ -55,6 +94,7 @@ public:
 
 private:
   std::map<std::string, std::vector<uint64_t>> BlockFreq;
+  std::map<std::string, EdgeCountMap> EdgeFreq;
 };
 
 } // namespace gis

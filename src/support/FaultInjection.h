@@ -42,6 +42,15 @@
 /// incomplete rollback and abort rather than continue from a silently
 /// half-restored function).
 ///
+/// The superblock phase (DESIGN.md section 16) registers two more:
+/// "trace-form" corrupts the function after the (pure-analysis) trace
+/// formation transaction via the generic corruption below, proving the
+/// phase's rollback discards every formed trace along with the function
+/// state; and "tail-dup" is fired *inside* the tail-duplication transform
+/// (trace/TailDuplication.cpp), dropping one cloned instruction -- a
+/// structurally well-formed but semantically wrong function, the
+/// lost-duplicate bug class that only the differential oracle can catch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GIS_SUPPORT_FAULTINJECTION_H

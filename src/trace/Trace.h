@@ -1,0 +1,52 @@
+//===- trace/Trace.h - Superblock traces ------------------------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared types of the trace-scheduling subsystem (DESIGN.md section 16).
+/// A superblock trace is a chain of basic blocks expected to execute in
+/// sequence: single entry at the head, side exits allowed anywhere.  The
+/// paper's third motion type -- scheduling with duplication, Definition 6,
+/// deferred in its prototype ("no duplication of code is allowed") -- pays
+/// off exactly along such chains: once tail duplication removes the side
+/// *entrances*, every block of the chain is dominated by the head, the
+/// duplication-class motions (A does not dominate B) degenerate into plain
+/// useful/speculative ones, and the existing global scheduler handles the
+/// chain as one region (analysis/Region.h: SchedRegion::buildTrace).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_TRACE_TRACE_H
+#define GIS_TRACE_TRACE_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace gis {
+
+/// One formed trace: a candidate superblock.
+struct SuperblockTrace {
+  /// The chain, head first, in intended execution order.  Consecutive
+  /// blocks are connected by a CFG edge (branch or fall-through).
+  std::vector<BlockId> Blocks;
+
+  /// Chain positions (>= 1) whose block has a CFG predecessor other than
+  /// the preceding chain block -- the side entrances tail duplication must
+  /// remove (or the trace be truncated at) before the chain is a
+  /// schedulable superblock.  Ascending.
+  std::vector<unsigned> SideEntrances;
+
+  /// Profile frequency of the head block (0 under the static heuristic);
+  /// hotter traces are formed -- and spend duplication budget -- first.
+  uint64_t HeadFreq = 0;
+
+  bool singleEntry() const { return SideEntrances.empty(); }
+};
+
+} // namespace gis
+
+#endif // GIS_TRACE_TRACE_H

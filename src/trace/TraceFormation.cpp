@@ -1,0 +1,153 @@
+//===- trace/TraceFormation.cpp - Superblock trace picking -----------------===//
+
+#include "trace/TraceFormation.h"
+
+#include <algorithm>
+
+using namespace gis;
+
+int gis::findFirstSideEntrance(const Function &F,
+                               const std::vector<BlockId> &Blocks) {
+  for (unsigned K = 1; K < Blocks.size(); ++K)
+    for (BlockId P : F.block(Blocks[K]).preds())
+      if (P != Blocks[K - 1])
+        return static_cast<int>(K);
+  return -1;
+}
+
+namespace {
+
+/// The block \p B falls through into, or InvalidId when its terminator
+/// never falls through (unconditional branch, return).
+BlockId fallthroughOf(const Function &F, BlockId B) {
+  InstrId T = F.terminatorOf(B);
+  if (T != InvalidId) {
+    Opcode Op = F.instr(T).opcode();
+    if (Op != Opcode::BT && Op != Opcode::BF)
+      return InvalidId; // B or RET: never falls through
+  }
+  return F.layoutSuccessor(B);
+}
+
+} // namespace
+
+std::vector<SuperblockTrace>
+gis::formTraces(const Function &F, const LoopInfo &LI,
+                const TraceFormationOptions &Opts) {
+  std::vector<SuperblockTrace> Traces;
+  if (Opts.MaxBlocks < 2)
+    return Traces;
+
+  const bool HaveEdges = Opts.Profile && Opts.Profile->hasEdges(F.name());
+  auto EdgeFreq = [&](BlockId From, BlockId To) -> uint64_t {
+    return Opts.Profile->edgeFrequency(F, From, To);
+  };
+
+  // Loop headers may head a trace (the hot-loop superblock) but never sit
+  // mid-chain: their back-edge predecessors cannot be redirected to a
+  // duplicate without rewriting the loop itself.
+  std::vector<bool> IsHeader(F.numBlocks(), false);
+  for (unsigned L = 0; L != LI.numLoops(); ++L)
+    IsHeader[LI.loop(L).Header] = true;
+
+  // Seeds, hottest block first so the hottest path claims its blocks (and
+  // later, its duplication budget) before lukewarm ones; stable on layout
+  // order so the result is deterministic with or without a profile.
+  std::vector<BlockId> Seeds(F.layout());
+  if (HaveEdges)
+    std::stable_sort(Seeds.begin(), Seeds.end(), [&](BlockId A, BlockId B) {
+      return Opts.Profile->frequency(F, A) > Opts.Profile->frequency(F, B);
+    });
+
+  std::vector<bool> InTrace(F.numBlocks(), false);
+
+  for (BlockId Seed : Seeds) {
+    if (InTrace[Seed])
+      continue;
+
+    SuperblockTrace T;
+    T.Blocks.push_back(Seed);
+    T.HeadFreq = HaveEdges ? Opts.Profile->frequency(F, Seed) : 0;
+    const int SeedLoop = LI.innermostLoopOf(Seed);
+
+    BlockId Cur = Seed;
+    while (T.Blocks.size() < Opts.MaxBlocks) {
+      // A successor is extendable when it keeps the chain a candidate
+      // superblock: unclaimed, same innermost loop, not the function
+      // entry, not a loop header, not already in this chain.
+      auto Extendable = [&](BlockId N) {
+        if (N >= F.numBlocks() || InTrace[N] || IsHeader[N] ||
+            N == F.entry() || LI.innermostLoopOf(N) != SeedLoop)
+          return false;
+        return std::find(T.Blocks.begin(), T.Blocks.end(), N) ==
+               T.Blocks.end();
+      };
+
+      BlockId Next = InvalidId;
+      if (HaveEdges) {
+        // Mutual most likely: B's hottest outgoing edge, provided no other
+        // predecessor of the target feeds it more flow.  Ties break toward
+        // the fall-through, then the smaller block id -- deterministic.
+        const BlockId Fall = fallthroughOf(F, Cur);
+        uint64_t BestW = 0;
+        BlockId Best = InvalidId;
+        for (BlockId S : F.block(Cur).succs()) {
+          uint64_t W = EdgeFreq(Cur, S);
+          if (W == 0)
+            continue;
+          bool TieWin = Best != Fall && (S == Fall || S < Best);
+          if (Best == InvalidId || W > BestW || (W == BestW && TieWin)) {
+            BestW = W;
+            Best = S;
+          }
+        }
+        if (Best != InvalidId && Extendable(Best)) {
+          bool Mutual = true;
+          for (BlockId P : F.block(Best).preds())
+            if (P != Cur && EdgeFreq(P, Best) > BestW)
+              Mutual = false;
+          if (Mutual)
+            Next = Best;
+        }
+      } else {
+        // Static branch-not-taken heuristic: follow a sole successor or a
+        // conditional's fall-through; require the target to either have us
+        // as its only predecessor or be entered by our fall-through (the
+        // layout hot path), so chains track the laid-out expected path.
+        const std::vector<BlockId> &Succs = F.block(Cur).succs();
+        BlockId Cand = InvalidId;
+        if (Succs.size() == 1)
+          Cand = Succs.front();
+        else if (Succs.size() > 1)
+          Cand = fallthroughOf(F, Cur);
+        if (Cand != InvalidId && Extendable(Cand)) {
+          const std::vector<BlockId> &Preds = F.block(Cand).preds();
+          bool SolePred = true;
+          for (BlockId P : Preds)
+            SolePred &= P == Cur;
+          if (SolePred || fallthroughOf(F, Cur) == Cand)
+            Next = Cand;
+        }
+      }
+
+      if (Next == InvalidId)
+        break;
+      T.Blocks.push_back(Next);
+      Cur = Next;
+    }
+
+    if (T.Blocks.size() < 2)
+      continue;
+    for (unsigned K = 1; K != T.Blocks.size(); ++K)
+      for (BlockId P : F.block(T.Blocks[K]).preds())
+        if (P != T.Blocks[K - 1]) {
+          T.SideEntrances.push_back(K);
+          break;
+        }
+    for (BlockId B : T.Blocks)
+      InTrace[B] = true;
+    Traces.push_back(std::move(T));
+  }
+
+  return Traces;
+}

@@ -1,0 +1,65 @@
+//===- trace/TraceFormation.h - Superblock trace picking --------*- C++ -*-===//
+//
+// Part of the GIS project: a reproduction of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile-guided trace picking (DESIGN.md section 16).  Traces are grown
+/// forward from seed blocks by the classic mutual-most-likely criterion:
+/// the chain extends from B to successor N only when the edge B->N carries
+/// the largest share of B's outgoing profile flow *and* the largest share
+/// of N's incoming flow -- so neither endpoint would rather belong to a
+/// different trace.  Without per-edge profile counts
+/// (ProfileData::recordEdges) a static branch-not-taken heuristic stands
+/// in: chains follow sole successors and conditional fall-throughs, the
+/// shape the paper's RS/6000 codegen lays out for the expected path.
+///
+/// Formation is pure analysis -- it never mutates the function.  The
+/// chains it returns may still have side entrances; tail duplication
+/// (trace/TailDuplication.h) removes them (or truncates the trace) before
+/// the chain becomes a schedulable superblock region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GIS_TRACE_TRACEFORMATION_H
+#define GIS_TRACE_TRACEFORMATION_H
+
+#include "analysis/LoopInfo.h"
+#include "sched/Profile.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace gis {
+
+struct TraceFormationOptions {
+  /// Maximum chain length in blocks (the pipeline additionally caps this
+  /// to its region block limit).
+  unsigned MaxBlocks = 8;
+  /// Optional execution profile (borrowed; may be null).  Mutual-most-
+  /// likely selection needs the per-edge counts; with none recorded for
+  /// the function the static heuristic is used.
+  const ProfileData *Profile = nullptr;
+};
+
+/// Forms pairwise block-disjoint traces over \p F.  Chains never cross a
+/// loop boundary (every block shares the seed's innermost loop), never
+/// re-enter a loop header mid-chain (a header's back-edge predecessors
+/// cannot be tail-duplicated away), and only chains of two or more blocks
+/// are returned.  Deterministic: seeds are visited hottest-first (layout
+/// order under the static heuristic; ties toward layout order), so the
+/// result depends only on the function and the profile.
+std::vector<SuperblockTrace> formTraces(const Function &F, const LoopInfo &LI,
+                                        const TraceFormationOptions &Opts);
+
+/// First chain position (>= 1) of \p Blocks whose block has a CFG
+/// predecessor other than the preceding chain block, or -1 when the chain
+/// is single-entry.  Requires \p F's CFG edge lists to be current.
+int findFirstSideEntrance(const Function &F,
+                          const std::vector<BlockId> &Blocks);
+
+} // namespace gis
+
+#endif // GIS_TRACE_TRACEFORMATION_H
